@@ -1,0 +1,64 @@
+// Microbenchmark (google-benchmark): the section 4.4 complexity claim.
+// The exact Formula 3 costs O(exit-edge length) per IR-region; the
+// Theorem 1 approximation costs O(1) (a fixed number of Simpson samples).
+// Sweep the region edge length on a large routing range and watch the
+// exact cost grow linearly while the approximation stays flat.
+#include <benchmark/benchmark.h>
+
+#include "congestion/approx.hpp"
+
+namespace {
+
+using namespace ficon;
+
+constexpr int kG = 400;  // 400x400 fine cells: a 12mm net at 30um pitch
+
+LogFactorialTable& shared_table() {
+  static LogFactorialTable table;
+  return table;
+}
+
+void BM_Formula3Exact(benchmark::State& state) {
+  const int span = static_cast<int>(state.range(0));
+  PathProbability prob(shared_table());
+  const NetGridShape shape{kG, kG, false};
+  const int lo = kG / 2 - span / 2;
+  const GridRect region{lo, lo, lo + span - 1, lo + span - 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob.region_probability_exact(shape, region));
+  }
+  state.SetComplexityN(span);
+}
+
+void BM_Theorem1Approx(benchmark::State& state) {
+  const int span = static_cast<int>(state.range(0));
+  PathProbability prob(shared_table());
+  ApproxOptions options;
+  options.small_region_threshold = 0;  // force the approximation path
+  options.narrow_range_threshold = 0;
+  const ApproxRegionProbability approx(prob, options);
+  const int lo = kG / 2 - span / 2;
+  const GridRect region{lo, lo, lo + span - 1, lo + span - 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(approx.theorem1(kG, kG, region));
+  }
+  state.SetComplexityN(span);
+}
+
+void BM_BinomialTableLookup(benchmark::State& state) {
+  LogFactorialTable& table = shared_table();
+  table.log_factorial(2 * kG);  // pre-grow
+  int n = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.log_choose(700, n));
+    n = (n + 37) % 700;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Formula3Exact)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+BENCHMARK(BM_Theorem1Approx)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+BENCHMARK(BM_BinomialTableLookup);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Table 5 reproduction: congestion-only optimization (alpha = beta = 0)
+// with the fixed-size-grid model on ami33, at grid sizes 100x100 and
+// 50x50 um^2 — the Experiment 3 baseline against Table 4.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/env.hpp"
+#include "congestion/grid_spec.hpp"
+#include "route/two_pin.hpp"
+#include "util/stats.hpp"
+
+using namespace ficon;
+
+int main() {
+  const ExperimentConfig config = experiment_config_from_env();
+  const std::string circuit = env_string("FICON_T4_CIRCUIT", "ami33");
+  std::cout << "Table 5 — congestion-only optimization with the fixed-size-"
+               "grid model (" << circuit << ")\n";
+  print_scale_banner(config);
+
+  const Netlist netlist = make_mcnc(circuit);
+  const FixedGridModel judge = make_judging_model(config.judging_pitch);
+  TextTable table({"grid (um)", "avg #grids", "avg grid cgt", "avg time (s)",
+                   "avg judging cgt", "best #grids", "best grid cgt",
+                   "best time (s)", "best judging cgt"});
+  for (const double pitch : {100.0, 50.0}) {
+    FloorplanOptions options = bench::tuned_options(config);
+    options.objective.alpha = 0.0;
+    options.objective.beta = 0.0;
+    options.objective.gamma = 1.0;
+    options.objective.model = CongestionModelKind::kFixedGrid;
+    options.objective.fixed.grid_w = pitch;
+    options.objective.fixed.grid_h = pitch;
+    const SeedSweep sweep =
+        run_seed_sweep(netlist, options, config.seeds, judge);
+
+    RunningStats cells;
+    for (const JudgedRun& run : sweep.runs) {
+      const GridSpec grid = GridSpec::from_pitch(run.solution.placement.chip,
+                                                 pitch, pitch);
+      cells.add(static_cast<double>(grid.cell_count()));
+    }
+    const JudgedRun& best = sweep.best();
+    const GridSpec best_grid =
+        GridSpec::from_pitch(best.solution.placement.chip, pitch, pitch);
+    table.add_row({fmt_fixed(pitch, 0) + "x" + fmt_fixed(pitch, 0),
+                   fmt_fixed(cells.mean(), 0),
+                   fmt_fixed(sweep.mean_congestion(), 6),
+                   fmt_fixed(sweep.mean_seconds(), 1),
+                   fmt_fixed(sweep.mean_judging(), 5),
+                   std::to_string(best_grid.cell_count()),
+                   fmt_fixed(best.solution.metrics.congestion, 6),
+                   fmt_fixed(best.solution.seconds, 1),
+                   fmt_fixed(best.judging_cost, 6)});
+  }
+  table.print(std::cout);
+  std::cout << "(paper Table 5: 561 / 2215 grids, 64 / 96 s — i.e. the "
+               "IR-grid run of Table 4 was ~2.3x / ~3.5x faster AND judged "
+               "better by 8.79% / 4.59% on averages)\n";
+  return 0;
+}

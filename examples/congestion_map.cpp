@@ -1,0 +1,81 @@
+// Export congestion maps of a floorplan as CSV (for plotting), SVG (for
+// looking at) and ASCII.
+//
+// Packs a circuit quickly (area+wire objective), then evaluates BOTH
+// congestion models on the same placement and writes:
+//   <prefix>_fixed.csv     fixed-grid map (x,y,congestion)
+//   <prefix>_irregular.csv IR-grid map (xlo,ylo,xhi,yhi,flow,density)
+//   <prefix>_fixed.svg     placement + fixed-grid heat overlay
+//   <prefix>_irregular.svg placement + IR density overlay + cut lines
+// and prints the fixed-grid ASCII heat map plus both solution costs.
+//
+//   ./congestion_map [circuit] [fixed_pitch_um] [out_prefix]
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "circuit/mcnc.hpp"
+#include "congestion/fixed_grid.hpp"
+#include "congestion/irregular_grid.hpp"
+#include "core/floorplanner.hpp"
+#include "exp/svg.hpp"
+#include "route/two_pin.hpp"
+
+int main(int argc, char** argv) {
+  const std::string circuit = argc > 1 ? argv[1] : "ami33";
+  const double pitch = argc > 2 ? std::stod(argv[2]) : 50.0;
+  const std::string prefix = argc > 3 ? argv[3] : "congestion";
+
+  const ficon::Netlist netlist = ficon::make_mcnc(circuit);
+  ficon::FloorplanOptions options;
+  options.effort = 0.4;
+  const ficon::FloorplanSolution sol =
+      ficon::Floorplanner(netlist, options).run();
+  const auto nets = ficon::decompose_to_two_pin(netlist, sol.placement);
+  std::cout << "placement: " << sol.metrics.area / 1e6 << " mm^2, "
+            << nets.size() << " two-pin nets\n";
+
+  const ficon::FixedGridModel fixed(
+      ficon::FixedGridParams{pitch, pitch, 0.10});
+  const ficon::CongestionMap fixed_map =
+      fixed.evaluate(nets, sol.placement.chip);
+  {
+    std::ofstream csv(prefix + "_fixed.csv");
+    fixed_map.write_csv(csv);
+  }
+  std::cout << "fixed-grid model  (" << pitch << "x" << pitch << " um): "
+            << fixed_map.grid().nx() << "x" << fixed_map.grid().ny()
+            << " cells, top-10% cost "
+            << fixed_map.top_fraction_cost(0.10) << " -> " << prefix
+            << "_fixed.csv\n";
+
+  ficon::IrregularGridParams ir_params;
+  ir_params.grid_w = 30.0;
+  ir_params.grid_h = 30.0;
+  const ficon::IrregularGridModel irregular(ir_params);
+  const ficon::IrregularCongestionMap ir_map =
+      irregular.evaluate(nets, sol.placement.chip);
+  {
+    std::ofstream csv(prefix + "_irregular.csv");
+    ir_map.write_csv(csv);
+  }
+  std::cout << "irregular-grid model: " << ir_map.nx() << "x" << ir_map.ny()
+            << " IR-cells, top-10%-area cost "
+            << ir_map.top_fraction_cost(0.10) << " -> " << prefix
+            << "_irregular.csv\n";
+
+  {
+    std::ofstream svg(prefix + "_fixed.svg");
+    ficon::write_svg(svg, netlist, sol.placement, fixed_map);
+  }
+  {
+    std::ofstream svg(prefix + "_irregular.svg");
+    ficon::write_svg(svg, netlist, sol.placement, ir_map);
+  }
+  std::cout << "wrote " << prefix << "_fixed.svg and " << prefix
+            << "_irregular.svg\n";
+
+  std::cout << "\nfixed-grid heat map:\n";
+  fixed_map.write_ascii(std::cout);
+  return 0;
+}

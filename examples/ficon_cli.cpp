@@ -1,0 +1,159 @@
+// ficon_cli — command-line floorplanner with congestion estimation.
+//
+// The tool a downstream user reaches for first: floorplan a circuit (from
+// a file or the built-in MCNC-like suite), pick the objective and engine,
+// and export results.
+//
+// Usage:
+//   ficon_cli [options]
+//     --circuit NAME|PATH    built-in name (ami33, ...) or .ficon/.blocks
+//                            file (default ami33)
+//     --engine polish|sp     floorplan representation (default polish)
+//     --alpha A --beta B --gamma G   objective weights (default 1 1 0.4)
+//     --model ir|fixed|none  congestion model in the objective (default ir)
+//     --grid PITCH           congestion fine pitch in um (default 30)
+//     --seed N               annealing seed (default 1)
+//     --effort E             SA effort multiplier (default 1.0)
+//     --svg PATH             write placement + IR heat map SVG
+//     --csv PATH             write IR congestion map CSV
+//     --save PATH            write the packed netlist in native format
+//     --quiet                suppress the per-temperature trace
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "circuit/mcnc.hpp"
+#include "circuit/parser.hpp"
+#include "congestion/fixed_grid.hpp"
+#include "core/floorplanner.hpp"
+#include "exp/svg.hpp"
+#include "route/two_pin.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "ficon_cli: " << message << " (see header comment for usage)\n";
+  std::exit(2);
+}
+
+bool is_builtin(const std::string& name) {
+  for (const ficon::McncSpec& spec : ficon::mcnc_specs()) {
+    if (spec.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      usage_error("bad argument '" + key + "'");
+    }
+    args[key.substr(2)] = argv[++i];
+  }
+  const auto get = [&](const std::string& key, const std::string& fallback) {
+    const auto it = args.find(key);
+    return it != args.end() ? it->second : fallback;
+  };
+
+  // --- Load the circuit.
+  const std::string circuit = get("circuit", "ami33");
+  ficon::Netlist netlist = [&] {
+    if (is_builtin(circuit)) return ficon::make_mcnc(circuit);
+    if (circuit.size() > 7 &&
+        circuit.compare(circuit.size() - 7, 7, ".blocks") == 0) {
+      return ficon::load_gsrc(circuit);
+    }
+    return ficon::load_netlist(circuit);
+  }();
+  std::cout << "circuit " << netlist.name() << ": " << netlist.module_count()
+            << " modules, " << netlist.terminal_count() << " terminals, "
+            << netlist.net_count() << " nets\n";
+
+  // --- Configure.
+  ficon::FloorplanOptions options;
+  options.objective.alpha = std::stod(get("alpha", "1"));
+  options.objective.beta = std::stod(get("beta", "1"));
+  options.objective.gamma = std::stod(get("gamma", "0.4"));
+  const std::string model = get("model", "ir");
+  if (model == "ir") {
+    options.objective.model = ficon::CongestionModelKind::kIrregularGrid;
+    options.objective.irregular.grid_w = std::stod(get("grid", "30"));
+    options.objective.irregular.grid_h = options.objective.irregular.grid_w;
+  } else if (model == "fixed") {
+    options.objective.model = ficon::CongestionModelKind::kFixedGrid;
+    options.objective.fixed.grid_w = std::stod(get("grid", "100"));
+    options.objective.fixed.grid_h = options.objective.fixed.grid_w;
+  } else if (model == "none") {
+    options.objective.model = ficon::CongestionModelKind::kNone;
+    options.objective.gamma = 0.0;
+  } else {
+    usage_error("unknown model '" + model + "'");
+  }
+  const std::string engine = get("engine", "polish");
+  if (engine == "sp") {
+    options.engine = ficon::FloorplanEngine::kSequencePair;
+  } else if (engine != "polish") {
+    usage_error("unknown engine '" + engine + "'");
+  }
+  options.seed = std::stoull(get("seed", "1"));
+  options.effort = std::stod(get("effort", "1.0"));
+
+  // --- Run.
+  const ficon::Floorplanner planner(netlist, options);
+  const ficon::FloorplanSolution sol = planner.run(
+      quiet ? ficon::Floorplanner::SnapshotFn{}
+            : [](const ficon::TemperatureSnapshot& s) {
+                if (s.step % 10 == 0) {
+                  std::cout << "  step " << s.step << "  area "
+                            << s.metrics.area / 1e6 << " mm^2  cost "
+                            << s.metrics.cost << '\n';
+                }
+              });
+
+  const auto nets = ficon::decompose_to_two_pin(netlist, sol.placement);
+  const double judged =
+      ficon::make_judging_model(10.0).cost(nets, sol.placement.chip);
+  const double deadspace =
+      100.0 * (1.0 - netlist.total_module_area() / sol.metrics.area);
+  std::cout << "area " << sol.metrics.area / 1e6 << " mm^2 (" << deadspace
+            << "% deadspace), wire "
+            << sol.metrics.wirelength / 1e3 << " mm, IR cgt "
+            << sol.metrics.congestion << ", judging cgt " << judged << ", "
+            << sol.seconds << " s\n";
+
+  // --- Exports.
+  if (const std::string path = get("svg", ""); !path.empty()) {
+    ficon::IrregularGridParams params;
+    params.grid_w = params.grid_h = std::stod(get("grid", "30"));
+    std::ofstream svg(path);
+    ficon::write_svg(svg, netlist, sol.placement,
+                     ficon::IrregularGridModel(params).evaluate(
+                         nets, sol.placement.chip));
+    std::cout << "wrote " << path << '\n';
+  }
+  if (const std::string path = get("csv", ""); !path.empty()) {
+    ficon::IrregularGridParams params;
+    params.grid_w = params.grid_h = std::stod(get("grid", "30"));
+    std::ofstream csv(path);
+    ficon::IrregularGridModel(params)
+        .evaluate(nets, sol.placement.chip)
+        .write_csv(csv);
+    std::cout << "wrote " << path << '\n';
+  }
+  if (const std::string path = get("save", ""); !path.empty()) {
+    std::ofstream out(path);
+    ficon::save_netlist(netlist, out);
+    std::cout << "wrote " << path << '\n';
+  }
+  return 0;
+}

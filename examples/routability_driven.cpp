@@ -1,0 +1,62 @@
+// Experiment 1 in miniature: compare a plain area+wire floorplanner
+// against one that additionally optimizes the Irregular-Grid congestion
+// estimate, judging both with the fine fixed-grid referee.
+//
+//   ./routability_driven [circuit] [seeds]
+#include <iostream>
+#include <string>
+
+#include "circuit/mcnc.hpp"
+#include "core/floorplanner.hpp"
+#include "exp/experiment.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::string circuit = argc > 1 ? argv[1] : "ami33";
+  const int seeds = argc > 2 ? std::stoi(argv[2]) : 3;
+
+  const ficon::Netlist netlist = ficon::make_mcnc(circuit);
+  const ficon::FixedGridModel judge = ficon::make_judging_model(10.0);
+
+  ficon::FloorplanOptions baseline;
+  baseline.effort = 0.4;
+  baseline.objective.alpha = 1.0;
+  baseline.objective.beta = 1.0;
+
+  ficon::FloorplanOptions congestion_driven = baseline;
+  congestion_driven.objective.gamma = 0.4;
+  congestion_driven.objective.model =
+      ficon::CongestionModelKind::kIrregularGrid;
+  congestion_driven.objective.irregular.grid_w = 30.0;
+  congestion_driven.objective.irregular.grid_h = 30.0;
+
+  std::cout << "circuit " << circuit << ", " << seeds
+            << " seeds per floorplanner\n";
+  const ficon::SeedSweep base =
+      ficon::run_seed_sweep(netlist, baseline, seeds, judge);
+  const ficon::SeedSweep cgt =
+      ficon::run_seed_sweep(netlist, congestion_driven, seeds, judge);
+
+  ficon::TextTable table({"objective", "area (mm^2)", "wire (mm)",
+                          "judging cgt", "time (s)"});
+  table.add_row({"area+wire", ficon::fmt_fixed(base.mean_area() / 1e6, 3),
+                 ficon::fmt_fixed(base.mean_wirelength() / 1e3, 1),
+                 ficon::fmt_fixed(base.mean_judging(), 4),
+                 ficon::fmt_fixed(base.mean_seconds(), 2)});
+  table.add_row({"+ IR congestion",
+                 ficon::fmt_fixed(cgt.mean_area() / 1e6, 3),
+                 ficon::fmt_fixed(cgt.mean_wirelength() / 1e3, 1),
+                 ficon::fmt_fixed(cgt.mean_judging(), 4),
+                 ficon::fmt_fixed(cgt.mean_seconds(), 2)});
+  table.print(std::cout);
+
+  const double improvement =
+      (base.mean_judging() - cgt.mean_judging()) / base.mean_judging();
+  std::cout << "judged congestion improvement: "
+            << ficon::fmt_percent(improvement) << " %\n";
+  std::cout << "area penalty: "
+            << ficon::fmt_percent((cgt.mean_area() - base.mean_area()) /
+                                  base.mean_area())
+            << " %\n";
+  return 0;
+}

@@ -1,0 +1,213 @@
+#include "circuit/mcnc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "util/rng.hpp"
+
+namespace ficon {
+namespace {
+
+// Published aggregate statistics of the MCNC block benchmarks (module
+// count / net count / pin count / total module area). These figures are
+// widely reported in the floorplanning literature (e.g. Wong-Liu-era and
+// B*-tree papers) and pin down the scale of every routing range.
+const std::vector<McncSpec> kSpecs = {
+    {"apte", 9, 97, 287, 46561628.0, 73},
+    {"xerox", 10, 203, 698, 19350296.0, 2},
+    {"hp", 11, 83, 309, 8830584.0, 45},
+    {"ami33", 33, 123, 522, 1156449.0, 42},
+    {"ami49", 49, 408, 953, 35445424.0, 22},
+};
+
+/// Fractional chip-outline position of pad t of T, walking the perimeter
+/// counter-clockwise from the lower-left corner.
+Terminal perimeter_terminal(const std::string& name, int t, int total) {
+  const double u = (t + 0.5) / total;
+  double fx = 0.0, fy = 0.0;
+  if (u < 0.25) {
+    fx = 4.0 * u;
+  } else if (u < 0.5) {
+    fx = 1.0;
+    fy = 4.0 * (u - 0.25);
+  } else if (u < 0.75) {
+    fx = 1.0 - 4.0 * (u - 0.5);
+    fy = 1.0;
+  } else {
+    fy = 1.0 - 4.0 * (u - 0.75);
+  }
+  return Terminal{name, fx, fy};
+}
+
+std::uint64_t name_seed(const std::string& name) {
+  // FNV-1a, then SplitMix64 to spread the bits. Deterministic across
+  // platforms, unlike std::hash.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return SplitMix64(h).next();
+}
+
+/// Draw module areas with a lognormal spread and renormalize so they sum
+/// exactly to the target. Real macro suites mix a few large blocks with
+/// many small ones; sigma = 0.8 reproduces an ami49-like spread (largest
+/// block ~20x the smallest).
+std::vector<double> draw_areas(int count, double total, Rng& rng) {
+  std::lognormal_distribution<double> dist(0.0, 0.8);
+  std::vector<double> areas(static_cast<std::size_t>(count));
+  double sum = 0.0;
+  for (double& a : areas) {
+    a = dist(rng.engine());
+    sum += a;
+  }
+  for (double& a : areas) a *= total / sum;
+  return areas;
+}
+
+}  // namespace
+
+const std::vector<McncSpec>& mcnc_specs() { return kSpecs; }
+
+const McncSpec& mcnc_spec(const std::string& name) {
+  for (const McncSpec& s : kSpecs) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown MCNC circuit '" + name + "'");
+}
+
+Netlist make_mcnc(const std::string& name) {
+  return make_synthetic(mcnc_spec(name), name_seed(name));
+}
+
+Netlist make_synthetic(const McncSpec& spec, std::uint64_t seed) {
+  FICON_REQUIRE(spec.modules >= 2, "need at least two modules");
+  FICON_REQUIRE(spec.nets >= 1, "need at least one net");
+  FICON_REQUIRE(spec.terminals >= 0, "negative terminal count");
+  FICON_REQUIRE(spec.pins - spec.terminals >= 2 * spec.nets,
+                "module-pin budget below two pins per net");
+  FICON_REQUIRE(spec.total_area_um2 > 0.0, "non-positive total area");
+
+  Rng rng(seed);
+
+  // --- Modules: lognormal areas, aspect ratios in [1/3, 3], dimensions
+  // rounded to whole micrometres (>= 1 um).
+  std::vector<Module> modules;
+  modules.reserve(static_cast<std::size_t>(spec.modules));
+  const std::vector<double> areas =
+      draw_areas(spec.modules, spec.total_area_um2, rng);
+  for (int i = 0; i < spec.modules; ++i) {
+    const double aspect = std::exp(rng.uniform(-std::log(3.0), std::log(3.0)));
+    const double w = std::max(1.0, std::round(std::sqrt(areas[static_cast<std::size_t>(i)] * aspect)));
+    const double h = std::max(1.0, std::round(areas[static_cast<std::size_t>(i)] / w));
+    modules.push_back(Module{spec.name + "_m" + std::to_string(i), w, h});
+  }
+
+  // --- Connectivity clusters: modules are grouped so nets are locally
+  // dense. Cluster count ~ sqrt(m) matches the community structure seen in
+  // partitioned real netlists.
+  const int cluster_count =
+      std::max(2, static_cast<int>(std::lround(std::sqrt(spec.modules))));
+  std::vector<int> cluster_of(static_cast<std::size_t>(spec.modules));
+  for (int i = 0; i < spec.modules; ++i) {
+    cluster_of[static_cast<std::size_t>(i)] = rng.uniform_int(0, cluster_count - 1);
+  }
+  std::vector<std::vector<int>> cluster_members(
+      static_cast<std::size_t>(cluster_count));
+  for (int i = 0; i < spec.modules; ++i) {
+    cluster_members[static_cast<std::size_t>(cluster_of[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  }
+  // Guarantee no empty cluster (would make the weighted pick degenerate).
+  for (std::size_t c = 0; c < cluster_members.size(); ++c) {
+    if (cluster_members[c].empty()) {
+      const int m = rng.uniform_int(0, spec.modules - 1);
+      cluster_members[c].push_back(m);
+    }
+  }
+
+  // --- Net degrees: start every net at 2 module pins, sprinkle the
+  // remaining module-pin budget one pin at a time (capped at degree 8 —
+  // MCNC nets are mostly 2-4 pins with a short tail). The terminal share
+  // of the published pin total is added afterwards.
+  std::vector<int> degree(static_cast<std::size_t>(spec.nets), 2);
+  int remaining = (spec.pins - spec.terminals) - 2 * spec.nets;
+  constexpr int kMaxDegree = 8;
+  while (remaining > 0) {
+    const std::size_t n = rng.index(degree.size());
+    if (degree[n] < kMaxDegree) {
+      ++degree[n];
+      --remaining;
+    }
+  }
+
+  // --- Nets: pick a home cluster, then draw pins mostly from it.
+  constexpr double kHomeAffinity = 0.7;
+  std::vector<Net> nets;
+  nets.reserve(static_cast<std::size_t>(spec.nets));
+  for (int n = 0; n < spec.nets; ++n) {
+    Net net;
+    net.name = spec.name + "_n" + std::to_string(n);
+    const int home = rng.uniform_int(0, cluster_count - 1);
+    const std::vector<int>& members =
+        cluster_members[static_cast<std::size_t>(home)];
+    std::vector<int> used;
+    for (int p = 0; p < degree[static_cast<std::size_t>(n)]; ++p) {
+      int module = -1;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const bool from_home = rng.chance(kHomeAffinity);
+        module = from_home
+                     ? members[rng.index(members.size())]
+                     : rng.uniform_int(0, spec.modules - 1);
+        if (std::find(used.begin(), used.end(), module) == used.end()) break;
+      }
+      // After 8 attempts accept a repeat only if the net already touches
+      // every reachable module; a repeated pin is harmless (it collapses in
+      // the MST decomposition).
+      used.push_back(module);
+      net.pins.push_back(
+          Pin::on_module(module, rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)));
+    }
+    nets.push_back(std::move(net));
+  }
+
+  // --- Terminals: pads ring the chip outline; each connects to one net
+  // (real MCNC pads are mostly single-net I/Os).
+  std::vector<Terminal> terminals;
+  terminals.reserve(static_cast<std::size_t>(spec.terminals));
+  for (int t = 0; t < spec.terminals; ++t) {
+    terminals.push_back(perimeter_terminal(
+        spec.name + "_p" + std::to_string(t), t, spec.terminals));
+    Net& net = nets[rng.index(nets.size())];
+    net.pins.push_back(Pin::on_terminal(t, terminals.back()));
+  }
+
+  return Netlist(spec.name, std::move(modules), std::move(terminals),
+                 std::move(nets));
+}
+
+Netlist make_scaling_circuit(int modules, std::uint64_t seed) {
+  FICON_REQUIRE(modules >= 2, "need at least two modules");
+  McncSpec spec;
+  spec.name = "scale" + std::to_string(modules);
+  spec.modules = modules;
+  spec.nets = 3 * modules;
+  spec.terminals = modules / 2;
+  spec.pins = 8 * modules + spec.terminals;
+  spec.total_area_um2 = 1.0e4 * modules;  // ~100x100 um average block
+  const Netlist hard = make_synthetic(spec, seed);
+
+  // Re-issue the modules as soft blocks of the same areas.
+  std::vector<Module> soft;
+  soft.reserve(hard.module_count());
+  for (const Module& m : hard.modules()) {
+    soft.push_back(Module::make_soft(m.name, m.area(), 1.0 / 3.0, 3.0));
+  }
+  return Netlist(hard.name(), std::move(soft),
+                 std::vector<Terminal>(hard.terminals()),
+                 std::vector<Net>(hard.nets()));
+}
+
+}  // namespace ficon

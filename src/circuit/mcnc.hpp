@@ -1,0 +1,57 @@
+// Deterministic MCNC-like benchmark substrate.
+//
+// The paper evaluates on five MCNC block-level benchmarks (apte, xerox, hp,
+// ami33, ami49). The original .yal files are not redistributable here, so
+// this module procedurally regenerates circuits whose *published aggregate
+// statistics* match the originals: module count, total module area, net
+// count and total pin count. Module areas follow a lognormal spread with
+// bounded aspect ratios, and net connectivity is clustered (real netlists
+// are locally dense), so routing-range size distributions — the quantity
+// both congestion models actually consume — are realistic.
+//
+// Generation is fully deterministic per circuit name; the same name always
+// yields bit-identical netlists across runs and platforms. Real MCNC/GSRC
+// files can be substituted at any time via ficon::load_netlist() /
+// ficon::load_gsrc() without touching the experiment code (see DESIGN.md,
+// "Substitutions").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace ficon {
+
+/// Published aggregate statistics of one MCNC benchmark.
+struct McncSpec {
+  std::string name;
+  int modules = 0;
+  int nets = 0;
+  int pins = 0;             ///< total pin count across all nets
+  double total_area_um2 = 0.0;
+  int terminals = 0;        ///< I/O pads, distributed on the chip outline
+};
+
+/// Specs for the five circuits used in the paper's experiments.
+const std::vector<McncSpec>& mcnc_specs();
+
+/// Look up a spec by name; throws std::invalid_argument for unknown names.
+const McncSpec& mcnc_spec(const std::string& name);
+
+/// Deterministically generate the MCNC-like circuit with the given name
+/// ("apte", "xerox", "hp", "ami33", "ami49").
+Netlist make_mcnc(const std::string& name);
+
+/// Generate a fully synthetic circuit from explicit statistics; exposed for
+/// tests and for scaling experiments beyond the MCNC suite.
+Netlist make_synthetic(const McncSpec& spec, std::uint64_t seed);
+
+/// Scaling ladder: a GSRC-flavoured synthetic circuit with `modules` soft
+/// blocks (aspect range [1/3, 3]), ~3 nets and ~8 pins per module, and one
+/// pad per two modules. Used by the complexity experiments (section 4.7:
+/// the IR-grid count stays far below n^2). Deterministic per (modules,
+/// seed).
+Netlist make_scaling_circuit(int modules, std::uint64_t seed = 7);
+
+}  // namespace ficon

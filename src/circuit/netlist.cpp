@@ -1,0 +1,77 @@
+#include "circuit/netlist.hpp"
+
+#include <unordered_set>
+
+namespace ficon {
+
+std::size_t Netlist::pin_count() const {
+  std::size_t total = 0;
+  for (const Net& net : nets_) total += net.pins.size();
+  return total;
+}
+
+double Netlist::total_module_area() const {
+  double total = 0.0;
+  for (const Module& m : modules_) total += m.area();
+  return total;
+}
+
+int Netlist::find_module(const std::string& name) const {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    if (modules_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Netlist::find_terminal(const std::string& name) const {
+  for (std::size_t i = 0; i < terminals_.size(); ++i) {
+    if (terminals_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Netlist::validate() const {
+  std::unordered_set<std::string> names;
+  for (const Module& m : modules_) {
+    FICON_REQUIRE(m.width > 0.0 && m.height > 0.0,
+                  "module '" + m.name + "' has non-positive dimensions");
+    if (m.soft) {
+      FICON_REQUIRE(m.min_aspect > 0.0 && m.min_aspect <= m.max_aspect,
+                    "module '" + m.name + "' has an invalid aspect range");
+    }
+    FICON_REQUIRE(names.insert(m.name).second,
+                  "duplicate module name '" + m.name + "'");
+  }
+  for (const Terminal& t : terminals_) {
+    FICON_REQUIRE(t.fx >= 0.0 && t.fx <= 1.0 && t.fy >= 0.0 && t.fy <= 1.0,
+                  "terminal '" + t.name + "' outside the chip fraction");
+    FICON_REQUIRE(names.insert(t.name).second,
+                  "duplicate terminal/module name '" + t.name + "'");
+  }
+  for (const Net& net : nets_) {
+    FICON_REQUIRE(net.pins.size() >= 2,
+                  "net '" + net.name + "' has degree < 2");
+    bool has_module_pin = false;
+    for (const Pin& pin : net.pins) {
+      FICON_REQUIRE((pin.module >= 0) != (pin.terminal >= 0),
+                    "net '" + net.name +
+                        "' pin must reference exactly one of module/terminal");
+      if (pin.is_terminal()) {
+        FICON_REQUIRE(static_cast<std::size_t>(pin.terminal) <
+                          terminals_.size(),
+                      "net '" + net.name + "' references unknown terminal");
+      } else {
+        FICON_REQUIRE(static_cast<std::size_t>(pin.module) < modules_.size(),
+                      "net '" + net.name + "' references unknown module");
+        has_module_pin = true;
+      }
+      FICON_REQUIRE(pin.fx >= 0.0 && pin.fx <= 1.0 && pin.fy >= 0.0 &&
+                        pin.fy <= 1.0,
+                    "net '" + net.name + "' pin offset outside [0,1]");
+    }
+    FICON_REQUIRE(has_module_pin,
+                  "net '" + net.name + "' connects only terminals");
+  }
+}
+
+}  // namespace ficon

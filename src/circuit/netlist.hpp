@@ -1,0 +1,165 @@
+// Circuit representation: hard rectangular modules and multi-pin nets.
+//
+// This is the input side of the floorplanning problem of section 2 of the
+// paper: m modules to pack, n nets whose congestion the model estimates.
+// Modules are hard macros (fixed width x height, 90-degree rotation
+// allowed). Pins are attached to modules at fractional offsets so they
+// travel with the module during packing; the paper's multi-pin nets are
+// decomposed into 2-pin nets downstream (src/route).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "util/check.hpp"
+
+namespace ficon {
+
+/// A rectangular module (macro). Dimensions in um, in the canonical
+/// (unrotated) orientation.
+///
+/// Hard modules (the MCNC default) may only rotate by 90 degrees. Soft
+/// modules (GSRC "softrectangular") keep their area but may take any
+/// aspect ratio within [min_aspect, max_aspect]; width/height then hold
+/// the nominal (aspect-1-ish) instantiation and the slicing packer's shape
+/// curves sample the allowed range.
+struct Module {
+  std::string name;
+  double width = 0.0;
+  double height = 0.0;
+  bool soft = false;
+  double min_aspect = 1.0;  ///< lower bound on width/height (soft only)
+  double max_aspect = 1.0;  ///< upper bound on width/height (soft only)
+
+  double area() const { return width * height; }
+
+  static Module make_soft(std::string name, double area, double min_aspect,
+                          double max_aspect) {
+    const double side = std::sqrt(area);
+    return Module{std::move(name), side, side, true, min_aspect, max_aspect};
+  }
+};
+
+/// An I/O terminal (pad): a pin location fixed to the chip outline. Its
+/// position is fractional in the final chip rectangle, so pads track the
+/// floorplan as it resizes — the same role the paper's
+/// intersection-to-intersection I/O distribution plays.
+struct Terminal {
+  std::string name;
+  double fx = 0.0;  ///< fractional x within the chip, in [0, 1]
+  double fy = 0.0;  ///< fractional y within the chip, in [0, 1]
+};
+
+/// A pin: either an attachment to a module at a fractional offset within
+/// the module outline ((0,0) = lower-left, (1,1) = upper-right of the
+/// canonical orientation; transposed when the module is rotated), or a
+/// reference to an I/O terminal (then fx/fy carry the terminal's chip
+/// fraction). Exactly one of module/terminal is set.
+struct Pin {
+  int module = -1;    ///< index into Netlist::modules(), or -1
+  int terminal = -1;  ///< index into Netlist::terminals(), or -1
+  double fx = 0.5;    ///< fractional x offset in [0, 1]
+  double fy = 0.5;    ///< fractional y offset in [0, 1]
+
+  bool is_terminal() const { return terminal >= 0; }
+
+  static Pin on_module(int module, double fx = 0.5, double fy = 0.5) {
+    return Pin{module, -1, fx, fy};
+  }
+  static Pin on_terminal(int terminal, const Terminal& t) {
+    return Pin{-1, terminal, t.fx, t.fy};
+  }
+
+  friend bool operator==(const Pin&, const Pin&) = default;
+};
+
+/// A (multi-pin) net connecting two or more pins.
+struct Net {
+  std::string name;
+  std::vector<Pin> pins;
+
+  std::size_t degree() const { return pins.size(); }
+};
+
+/// A netlist: the full circuit description consumed by the floorplanner.
+///
+/// Invariants (checked by validate()):
+///  - every module has positive dimensions and a unique name,
+///  - every pin references a valid module or terminal, offsets in [0, 1],
+///  - every net has degree >= 2 and at least one module pin (a pad-only
+///    net has no floorplanning degree of freedom).
+class Netlist {
+ public:
+  Netlist() = default;
+  Netlist(std::string name, std::vector<Module> modules, std::vector<Net> nets)
+      : Netlist(std::move(name), std::move(modules), {}, std::move(nets)) {}
+  Netlist(std::string name, std::vector<Module> modules,
+          std::vector<Terminal> terminals, std::vector<Net> nets)
+      : name_(std::move(name)),
+        modules_(std::move(modules)),
+        terminals_(std::move(terminals)),
+        nets_(std::move(nets)) {
+    validate();
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<Module>& modules() const { return modules_; }
+  const std::vector<Terminal>& terminals() const { return terminals_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  std::size_t module_count() const { return modules_.size(); }
+  std::size_t terminal_count() const { return terminals_.size(); }
+  std::size_t net_count() const { return nets_.size(); }
+
+  /// Total number of pins over all nets.
+  std::size_t pin_count() const;
+
+  /// Sum of module areas (um^2) — lower bound on any packing's area.
+  double total_module_area() const;
+
+  /// Index of the module with the given name, or -1.
+  int find_module(const std::string& name) const;
+
+  /// Index of the terminal with the given name, or -1.
+  int find_terminal(const std::string& name) const;
+
+  /// Throws std::invalid_argument if any structural invariant is broken.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Module> modules_;
+  std::vector<Terminal> terminals_;
+  std::vector<Net> nets_;
+};
+
+/// Placement of every module of a netlist: the output of the slicing packer
+/// and the input to wirelength / congestion evaluation.
+struct Placement {
+  Rect chip;                       ///< bounding box of the packing
+  std::vector<Rect> module_rects;  ///< one per module, same indexing
+  std::vector<bool> rotated;       ///< true if module placed transposed
+
+  /// Absolute position (um) of a pin under this placement. Terminal pins
+  /// sit at their fractional chip position (they track the chip outline as
+  /// the floorplan resizes).
+  Point pin_position(const Pin& pin) const {
+    if (pin.is_terminal()) {
+      return {chip.xlo + pin.fx * chip.width(),
+              chip.ylo + pin.fy * chip.height()};
+    }
+    FICON_REQUIRE(pin.module >= 0 &&
+                      static_cast<std::size_t>(pin.module) <
+                          module_rects.size(),
+                  "pin references module outside placement");
+    const Rect& r = module_rects[static_cast<std::size_t>(pin.module)];
+    const bool rot = rotated[static_cast<std::size_t>(pin.module)];
+    const double fx = rot ? pin.fy : pin.fx;
+    const double fy = rot ? pin.fx : pin.fy;
+    return {r.xlo + fx * r.width(), r.ylo + fy * r.height()};
+  }
+};
+
+}  // namespace ficon

@@ -1,0 +1,57 @@
+// Netlist file I/O.
+//
+// Two formats are supported so real benchmark data can replace the
+// procedural MCNC substrate without code changes:
+//
+//  1. The native ficon text format (round-trippable, written by
+//     save_netlist):
+//
+//        circuit ami33
+//        module m0 420 252
+//        net n0 m0@0.5,0.5 m3 m7@0.2,0.8
+//
+//     A pin is "<module>[@fx,fy]"; the offset defaults to the module
+//     center. '#' starts a comment.
+//
+//  2. GSRC bookshelf floorplanning format (.blocks + .nets file pair,
+//     "UCSC blocks 1.0" / "UCLA nets 1.0"). Hard rectilinear blocks with
+//     4-corner outlines become modules; terminal (pad) pins are dropped
+//     and nets whose degree falls below 2 are discarded, since this
+//     floorplanner packs modules only (see DESIGN.md).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace ficon {
+
+/// Parse the native format from a stream. Throws std::invalid_argument on
+/// malformed input (with a line number in the message).
+Netlist parse_netlist(std::istream& in);
+
+/// Load the native format from a file. Throws on I/O or parse errors.
+Netlist load_netlist(const std::string& path);
+
+/// Write the native format; parse_netlist(save) round-trips.
+void save_netlist(const Netlist& netlist, std::ostream& out);
+
+/// Parse a GSRC .blocks/.nets pair from streams. Terminal pads are dropped
+/// (no placement information without a .pl file).
+Netlist parse_gsrc(std::istream& blocks, std::istream& nets,
+                   const std::string& name);
+
+/// Parse a GSRC .blocks/.nets pair with an optional .pl stream. When `pl`
+/// is non-null, terminal pads located there become Netlist terminals with
+/// positions normalized into the pad bounding box (so they track the final
+/// chip outline); pads absent from the .pl are dropped.
+Netlist parse_gsrc(std::istream& blocks, std::istream& nets, std::istream* pl,
+                   const std::string& name);
+
+/// Load a GSRC benchmark given the path of its .blocks file; the .nets file
+/// is expected next to it with the same stem, and a same-stem .pl file is
+/// used for terminal positions when present.
+Netlist load_gsrc(const std::string& blocks_path);
+
+}  // namespace ficon

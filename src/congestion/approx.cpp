@@ -1,0 +1,136 @@
+#include "congestion/approx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/normal.hpp"
+#include "util/check.hpp"
+
+namespace ficon {
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Composite Simpson over [a, b] of an optional-valued integrand; nullopt
+/// if any sample is invalid.
+template <typename F>
+std::optional<double> simpson_optional(F&& f, double a, double b, int panels) {
+  FICON_REQUIRE(panels >= 2 && panels % 2 == 0,
+                "Simpson's rule needs an even panel count >= 2");
+  if (!(a < b)) return 0.0;
+  const double h = (b - a) / panels;
+  double sum = 0.0;
+  for (int i = 0; i <= panels; ++i) {
+    const double x = a + h * i;
+    const auto v = f(x);
+    if (!v) return std::nullopt;
+    const double w = (i == 0 || i == panels) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    sum += w * *v;
+  }
+  return sum * h / 3.0;
+}
+
+}  // namespace
+
+double ApproxRegionProbability::top_exit_term_exact(int g1, int g2, int x,
+                                                    int y2) const {
+  const NetGridShape s{g1, g2, false};
+  if (y2 + 1 > g2 - 1) return 0.0;  // no cell above: crossing impossible
+  const auto ta = exact_.log_ta(s, x, y2);
+  const auto tb = exact_.log_tb(s, x, y2 + 1);
+  if (!ta || !tb) return 0.0;
+  return std::exp(*ta + *tb - exact_.log_total(s));
+}
+
+double ApproxRegionProbability::right_exit_term_exact(int g1, int g2, int x2,
+                                                      int y) const {
+  const NetGridShape s{g1, g2, false};
+  if (x2 + 1 > g1 - 1) return 0.0;
+  const auto ta = exact_.log_ta(s, x2, y);
+  const auto tb = exact_.log_tb(s, x2 + 1, y);
+  if (!ta || !tb) return 0.0;
+  return std::exp(*ta + *tb - exact_.log_total(s));
+}
+
+std::optional<double> ApproxRegionProbability::top_exit_term_approx(
+    int g1, int g2, double x, int y2) const {
+  // The binomial/normal chain needs R = g1+g2-3 >= 1 and R-1 = g1+g2-4 >= 1.
+  if (g1 + g2 < 5) return std::nullopt;
+  const double R = g1 + g2 - 3;
+  const double p = (x + y2) / R;
+  if (!(p > 0.0 && p < 1.0)) return std::nullopt;  // section 4.5 error cases
+  const double var = (static_cast<double>(g2 - 2) / (g1 + g2 - 4)) *
+                     (g1 - 1) * p * (1.0 - p);
+  if (!(var > 0.0)) return std::nullopt;
+  const double mu = (g1 - 1) * p;
+  const double coeff = static_cast<double>(g2 - 1) / (g1 + g2 - 2);
+  return coeff * normal_pdf(x, mu, std::sqrt(var));
+}
+
+std::optional<double> ApproxRegionProbability::right_exit_term_approx(
+    int g1, int g2, int x2, double y) const {
+  if (g1 + g2 < 5) return std::nullopt;
+  const double R = g1 + g2 - 3;
+  const double p = (x2 + y) / R;
+  if (!(p > 0.0 && p < 1.0)) return std::nullopt;
+  const double var = (static_cast<double>(g1 - 2) / (g1 + g2 - 4)) *
+                     (g2 - 1) * p * (1.0 - p);
+  if (!(var > 0.0)) return std::nullopt;
+  const double mu = (g2 - 1) * p;
+  const double coeff = static_cast<double>(g1 - 1) / (g1 + g2 - 2);
+  return coeff * normal_pdf(y, mu, std::sqrt(var));
+}
+
+std::optional<double> ApproxRegionProbability::theorem1(
+    int g1, int g2, const GridRect& region) const {
+  const double delta = options_.continuity_correction ? 0.5 : 0.0;
+  double prob = 0.0;
+  if (region.yhi < g2 - 1) {
+    const auto top = simpson_optional(
+        [&](double x) { return top_exit_term_approx(g1, g2, x, region.yhi); },
+        region.xlo - delta, region.xhi + delta, options_.simpson_panels);
+    if (!top) return std::nullopt;
+    prob += *top;
+  }
+  if (region.xhi < g1 - 1) {
+    const auto right = simpson_optional(
+        [&](double y) { return right_exit_term_approx(g1, g2, region.xhi, y); },
+        region.ylo - delta, region.yhi + delta, options_.simpson_panels);
+    if (!right) return std::nullopt;
+    prob += *right;
+  }
+  return clamp01(prob);
+}
+
+double ApproxRegionProbability::region_probability(
+    const NetGridShape& s, const GridRect& region) const {
+  FICON_REQUIRE(s.g1 >= 1 && s.g2 >= 1, "empty routing range");
+  const GridRect r{std::max(region.xlo, 0), std::max(region.ylo, 0),
+                   std::min(region.xhi, s.g1 - 1),
+                   std::min(region.yhi, s.g2 - 1)};
+  if (!r.valid()) return 0.0;
+  if (s.degenerate()) return 1.0;
+  // Algorithm step 3.1 + section 4.5: pin-covering IR-grids get 1, which
+  // also swallows the four error-making cells adjacent to the pins.
+  if (exact_.region_covers_pin(s, r)) return 1.0;
+  // Structural certainty: a monotone route visits every row and every
+  // column of its range, so a region spanning the full width (or height)
+  // is crossed by every route. Theorem 1 would lose tail mass near the
+  // pins on such spans; the exact answer is free.
+  if ((r.xlo == 0 && r.xhi == s.g1 - 1) ||
+      (r.ylo == 0 && r.yhi == s.g2 - 1)) {
+    return 1.0;
+  }
+  const GridRect canonical = s.type2 ? mirror_region_y(s.g2, r) : r;
+  if (s.g1 + s.g2 < options_.small_range_threshold ||
+      std::min(s.g1, s.g2) < options_.narrow_range_threshold ||
+      r.nx() + r.ny() <= options_.small_region_threshold) {
+    return exact_.region_probability_exact(s, region);
+  }
+  if (const auto approx = theorem1(s.g1, s.g2, canonical)) {
+    return *approx;
+  }
+  return exact_.region_probability_exact(s, region);
+}
+
+}  // namespace ficon

@@ -1,0 +1,42 @@
+#include "congestion/congestion_map.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ficon {
+
+void CongestionMap::write_ascii(std::ostream& os, int max_width) const {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  static constexpr int kLevels = static_cast<int>(sizeof(kShades)) - 2;
+  const double peak = max_value();
+  // Downsample by taking the max over blocks so hotspots survive.
+  const int step_x = std::max(1, (grid_.nx() + max_width - 1) / max_width);
+  const int step_y = std::max(1, 2 * step_x);  // terminal cells are ~2:1
+  for (int cy = grid_.ny() - 1; cy >= 0; cy -= step_y) {
+    for (int cx = 0; cx < grid_.nx(); cx += step_x) {
+      double block = 0.0;
+      for (int dy = 0; dy < step_y && cy - dy >= 0; ++dy) {
+        for (int dx = 0; dx < step_x && cx + dx < grid_.nx(); ++dx) {
+          block = std::max(block, at(cx + dx, cy - dy));
+        }
+      }
+      const int level =
+          peak > 0.0
+              ? std::min(kLevels, static_cast<int>(block / peak * kLevels))
+              : 0;
+      os << kShades[level];
+    }
+    os << '\n';
+  }
+}
+
+void CongestionMap::write_csv(std::ostream& os) const {
+  os << "x,y,congestion\n";
+  for (int cy = 0; cy < grid_.ny(); ++cy) {
+    for (int cx = 0; cx < grid_.nx(); ++cx) {
+      os << cx << ',' << cy << ',' << at(cx, cy) << '\n';
+    }
+  }
+}
+
+}  // namespace ficon

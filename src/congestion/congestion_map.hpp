@@ -1,0 +1,53 @@
+// Congestion map over a uniform grid — the output of the fixed-grid model.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "congestion/grid_spec.hpp"
+#include "util/stats.hpp"
+
+namespace ficon {
+
+/// Per-cell accumulated crossing probabilities f(x,y) = sum_i P_i(x,y)
+/// (paper section 3) on a uniform grid.
+class CongestionMap {
+ public:
+  explicit CongestionMap(GridSpec grid)
+      : grid_(grid),
+        values_(static_cast<std::size_t>(grid.cell_count()), 0.0) {}
+
+  const GridSpec& grid() const { return grid_; }
+
+  double at(int cx, int cy) const { return values_[index(cx, cy)]; }
+  void add(int cx, int cy, double p) { values_[index(cx, cy)] += p; }
+
+  const std::vector<double>& values() const { return values_; }
+
+  double max_value() const { return values_.empty() ? 0.0 : max_of(values_); }
+
+  /// The paper's solution cost: mean of the `fraction` most congested cells.
+  double top_fraction_cost(double fraction = 0.10) const {
+    return top_fraction_mean(values_, fraction);
+  }
+
+  /// ASCII heat map (rows top-to-bottom), one shade character per cell;
+  /// intended for the examples, not for parsing.
+  void write_ascii(std::ostream& os, int max_width = 80) const;
+
+  /// CSV dump: header "x,y,congestion", one row per cell.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::size_t index(int cx, int cy) const {
+    FICON_REQUIRE(cx >= 0 && cx < grid_.nx() && cy >= 0 && cy < grid_.ny(),
+                  "cell index out of range");
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(grid_.nx()) +
+           static_cast<std::size_t>(cx);
+  }
+
+  GridSpec grid_;
+  std::vector<double> values_;
+};
+
+}  // namespace ficon

@@ -1,0 +1,83 @@
+#include "congestion/cutlines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ficon {
+
+CutLines::CutLines(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  FICON_REQUIRE(xs_.size() >= 2 && ys_.size() >= 2,
+                "need at least the chip boundary lines");
+  FICON_REQUIRE(std::is_sorted(xs_.begin(), xs_.end()) &&
+                    std::is_sorted(ys_.begin(), ys_.end()),
+                "cut lines must be sorted");
+}
+
+int CutLines::nearest(const std::vector<double>& lines, double v) {
+  const auto it = std::lower_bound(lines.begin(), lines.end(), v);
+  if (it == lines.begin()) return 0;
+  if (it == lines.end()) return static_cast<int>(lines.size()) - 1;
+  const auto prev = it - 1;
+  const bool take_prev = (v - *prev) <= (*it - v);
+  return static_cast<int>((take_prev ? prev : it) - lines.begin());
+}
+
+std::vector<double> merge_lines(std::vector<double> coords, double lo,
+                                double hi, double min_gap) {
+  FICON_REQUIRE(lo < hi, "degenerate axis");
+  FICON_REQUIRE(min_gap >= 0.0, "negative merge gap");
+  std::sort(coords.begin(), coords.end());
+
+  std::vector<double> merged;
+  merged.push_back(lo);
+  std::size_t i = 0;
+  while (i < coords.size()) {
+    // Skip coordinates at/outside the pinned boundaries or hugging lo.
+    if (coords[i] <= lo + min_gap) {
+      ++i;
+      continue;
+    }
+    if (coords[i] >= hi - min_gap) break;
+    // Greedy cluster: everything within min_gap of the cluster start. The
+    // first coordinate is always consumed, so the loop advances even for
+    // min_gap == 0 (no merging).
+    const double start = coords[i];
+    double sum = 0.0;
+    std::size_t count = 0;
+    do {
+      sum += coords[i];
+      ++count;
+      ++i;
+    } while (i < coords.size() && coords[i] - start < min_gap &&
+             coords[i] < hi - min_gap);
+    const double rep = sum / static_cast<double>(count);
+    // The previous representative is at least min_gap below `start` by
+    // construction of the clusters, but guard against pathological input.
+    if (rep - merged.back() > min_gap * 0.5) {
+      merged.push_back(rep);
+    }
+  }
+  merged.push_back(hi);
+  return merged;
+}
+
+CutLines build_cutlines(std::span<const TwoPinNet> nets, const Rect& chip,
+                        double min_dx, double min_dy) {
+  FICON_REQUIRE(chip.is_proper(), "chip must have positive area");
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(nets.size() * 2);
+  ys.reserve(nets.size() * 2);
+  for (const TwoPinNet& net : nets) {
+    const Rect r = net.routing_range();
+    xs.push_back(std::clamp(r.xlo, chip.xlo, chip.xhi));
+    xs.push_back(std::clamp(r.xhi, chip.xlo, chip.xhi));
+    ys.push_back(std::clamp(r.ylo, chip.ylo, chip.yhi));
+    ys.push_back(std::clamp(r.yhi, chip.ylo, chip.yhi));
+  }
+  return CutLines(merge_lines(std::move(xs), chip.xlo, chip.xhi, min_dx),
+                  merge_lines(std::move(ys), chip.ylo, chip.yhi, min_dy));
+}
+
+}  // namespace ficon

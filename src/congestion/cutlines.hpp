@@ -1,0 +1,71 @@
+// Cut-line construction for the Irregular-Grid (paper section 4.2 and
+// algorithm step 1-2).
+//
+// Every routing range contributes two vertical and two horizontal cutting
+// lines (its boundary extensions); the chip boundary contributes the outer
+// four. Lines closer together than twice the fine-grid pitch are merged
+// (algorithm step 2) so that no IR-grid is thinner than the probability
+// math can resolve, and the associated routing ranges are snapped to the
+// merged representatives.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "route/two_pin.hpp"
+#include "util/check.hpp"
+
+namespace ficon {
+
+/// The sorted cut-line coordinates of an Irregular-Grid. xs/ys always
+/// include the chip boundaries as first and last entries, so the grid has
+/// (xs.size()-1) x (ys.size()-1) IR-cells.
+class CutLines {
+ public:
+  CutLines(std::vector<double> xs, std::vector<double> ys);
+
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+  int nx() const { return static_cast<int>(xs_.size()) - 1; }
+  int ny() const { return static_cast<int>(ys_.size()) - 1; }
+  long long cell_count() const {
+    return static_cast<long long>(nx()) * static_cast<long long>(ny());
+  }
+
+  /// Index of the cut line nearest to the coordinate.
+  int nearest_x(double x) const { return nearest(xs_, x); }
+  int nearest_y(double y) const { return nearest(ys_, y); }
+
+  /// um rectangle of IR-cell (ix, iy).
+  Rect cell_rect(int ix, int iy) const {
+    FICON_REQUIRE(ix >= 0 && ix < nx() && iy >= 0 && iy < ny(),
+                  "IR-cell index out of range");
+    return Rect{xs_[static_cast<std::size_t>(ix)],
+                ys_[static_cast<std::size_t>(iy)],
+                xs_[static_cast<std::size_t>(ix) + 1],
+                ys_[static_cast<std::size_t>(iy) + 1]};
+  }
+
+ private:
+  static int nearest(const std::vector<double>& lines, double v);
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Build the Irregular-Grid cut lines from the routing ranges of the
+/// decomposed nets. Lines closer than min_dx (min_dy) are merged into their
+/// cluster mean; the chip boundary lines are pinned and never move.
+CutLines build_cutlines(std::span<const TwoPinNet> nets, const Rect& chip,
+                        double min_dx, double min_dy);
+
+/// Exposed for tests: merge one sorted axis worth of coordinates. `lo`/`hi`
+/// are the pinned chip boundaries; interior clusters within min_gap collapse
+/// to their mean, and interior lines within min_gap of a boundary collapse
+/// into the boundary.
+std::vector<double> merge_lines(std::vector<double> coords, double lo,
+                                double hi, double min_gap);
+
+}  // namespace ficon

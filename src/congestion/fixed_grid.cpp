@@ -1,0 +1,57 @@
+#include "congestion/fixed_grid.hpp"
+
+#include <cmath>
+
+namespace ficon {
+
+CongestionMap FixedGridModel::evaluate(std::span<const TwoPinNet> nets,
+                                       const Rect& chip) const {
+  const GridSpec grid =
+      GridSpec::from_pitch(chip, params_.grid_w, params_.grid_h);
+  CongestionMap map(grid);
+  PathProbability prob(table_);
+
+  for (const TwoPinNet& net : nets) {
+    const SpannedNet s = span_net(grid, net);
+    const int g1 = s.shape.g1;
+    const int g2 = s.shape.g2;
+
+    if (s.shape.degenerate()) {
+      // Point or line routing range: the single possible route crosses
+      // every covered cell with probability 1.
+      for (int ly = 0; ly < g2; ++ly) {
+        for (int lx = 0; lx < g1; ++lx) {
+          map.add(s.origin.x + lx, s.origin.y + ly, 1.0);
+        }
+      }
+      continue;
+    }
+
+    // Work in the canonical type I frame (source cell (0,0), sink
+    // (g1-1,g2-1)); a type II net is accumulated with its y mirrored.
+    // Within a row, P(x,y) is advanced by the exact ratio
+    //   P(x+1,y)/P(x,y) = (x+y+1)/(x+1) * (g1-1-x)/((g1-1-x)+(g2-1-y)),
+    // so the inner loop is multiplication-only — this is what makes the
+    // 10 um judging model affordable on mm-scale chips.
+    const NetGridShape canonical{g1, g2, false};
+    const double log_total = prob.log_total(canonical);
+    for (int ly = 0; ly < g2; ++ly) {
+      const int gy = s.origin.y + (s.shape.type2 ? (g2 - 1 - ly) : ly);
+      // P(0, ly) = Tb(0, ly) / Total.
+      double p = std::exp(table_.log_choose(g1 - 1 + g2 - 1 - ly, g2 - 1 - ly) -
+                          log_total);
+      for (int lx = 0; lx < g1; ++lx) {
+        map.add(s.origin.x + lx, gy, p);
+        if (lx < g1 - 1) {
+          const double a = static_cast<double>(g1 - 1 - lx);
+          const double b = static_cast<double>(g2 - 1 - ly);
+          p *= (static_cast<double>(lx + ly) + 1.0) /
+               (static_cast<double>(lx) + 1.0) * a / (a + b);
+        }
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace ficon

@@ -1,0 +1,308 @@
+#include "congestion/irregular_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+
+namespace ficon {
+
+double IrregularCongestionMap::top_fraction_cost(double fraction) const {
+  FICON_REQUIRE(fraction > 0.0 && fraction <= 1.0, "fraction out of (0,1]");
+  struct CellScore {
+    double density;
+    double area;
+  };
+  std::vector<CellScore> cells;
+  cells.reserve(flow_.size());
+  double chip_area = 0.0;
+  for (int iy = 0; iy < ny(); ++iy) {
+    for (int ix = 0; ix < nx(); ++ix) {
+      const double area = lines_.cell_rect(ix, iy).area();
+      chip_area += area;
+      cells.push_back(CellScore{density(ix, iy), area});
+    }
+  }
+  if (cells.empty() || chip_area <= 0.0) return 0.0;
+  std::sort(cells.begin(), cells.end(),
+            [](const CellScore& a, const CellScore& b) {
+              return a.density > b.density;
+            });
+  const double budget = fraction * chip_area;
+  double used = 0.0;
+  double weighted = 0.0;
+  for (const CellScore& c : cells) {
+    const double take = std::min(c.area, budget - used);
+    if (take <= 0.0) break;
+    weighted += c.density * take;
+    used += take;
+  }
+  return used > 0.0 ? weighted / used : 0.0;
+}
+
+void IrregularCongestionMap::write_csv(std::ostream& os) const {
+  os << "xlo,ylo,xhi,yhi,flow,density\n";
+  for (int iy = 0; iy < ny(); ++iy) {
+    for (int ix = 0; ix < nx(); ++ix) {
+      const Rect r = lines_.cell_rect(ix, iy);
+      os << r.xlo << ',' << r.ylo << ',' << r.xhi << ',' << r.yhi << ','
+         << flow(ix, iy) << ',' << density(ix, iy) << '\n';
+    }
+  }
+}
+
+namespace {
+
+/// Map an IR-cell's um extent onto the net's local fine-lattice cell span.
+/// `origin` is the snapped range start, `pitch` the fine pitch, `g` the
+/// lattice size along this axis.
+int local_lo(double lo, double origin, double pitch, int g) {
+  const double raw = (lo - origin) / pitch;
+  return std::clamp(static_cast<int>(std::floor(raw + 1e-9)), 0, g - 1);
+}
+
+int local_hi(double hi, double origin, double pitch, int g) {
+  const double raw = (hi - origin) / pitch;
+  return std::clamp(static_cast<int>(std::ceil(raw - 1e-9)) - 1, 0, g - 1);
+}
+
+/// One net's placement on the Irregular-Grid: covered IR-cell index window
+/// plus the local fine lattice.
+struct NetOnGrid {
+  int ix1, ix2, iy1, iy2;  ///< covering cut-line indices (cells ix1..ix2-1)
+  double sx1, sy1;         ///< snapped range origin (um)
+  NetGridShape shape;
+};
+
+/// Banded exact evaluation (IrEvalStrategy::kBandedExact).
+///
+/// Works in the canonical type I frame (source cell (0,0), sink
+/// (g1-1,g2-1); type II nets are y-mirrored). Formula 3 for an IR-cell is
+///   P = sum_x in [lx1..lx2] T(x, Y)  +  sum_y in [cy1..cy2] R(X, y)
+/// with T/R the normalized top/right exit terms, Y the cell's top fine row
+/// and X its right fine column. Rather than evaluating each cell's sums
+/// independently, build per-band prefix sums of T (one pass of length g1
+/// per IR row) and of R (one pass of length g2 per IR column), advancing
+/// the terms with exact multiplicative recurrences:
+///   T(x+1,Y)/T(x,Y) = (x+1+Y)/(x+1) * (g1-1-x)/((g1-1-x)+(g2-2-Y))
+///   R(X,y+1)/R(X,y) = (X+1+y)/(y+1) * (g2-1-y)/((g1-2-X)+(g2-1-y))
+/// so the only transcendental call is one exp() per band. Cells covering a
+/// pin are exactly 1 (every route passes a pin cell), which doubles as the
+/// paper's step 3.1.
+class BandedEvaluator {
+ public:
+  BandedEvaluator(LogFactorialTable& table, const IrregularGridParams& params)
+      : table_(&table), params_(&params) {}
+
+  void accumulate(IrregularCongestionMap& map, const CutLines& cl,
+                  const NetOnGrid& net) {
+    const int g1 = net.shape.g1;
+    const int g2 = net.shape.g2;
+    const bool t2 = net.shape.type2;
+    const int ncx = net.ix2 - net.ix1;  // covered IR columns
+    const int ncy = net.iy2 - net.iy1;  // covered IR rows
+    cell_flow_.assign(static_cast<std::size_t>(ncx) *
+                          static_cast<std::size_t>(ncy),
+                      0.0);
+
+    // Local fine spans of every covered IR column/row (canonical frame).
+    col_lx1_.resize(static_cast<std::size_t>(ncx));
+    col_lx2_.resize(static_cast<std::size_t>(ncx));
+    for (int cx = 0; cx < ncx; ++cx) {
+      const Rect cell = cl.cell_rect(net.ix1 + cx, net.iy1);
+      col_lx1_[static_cast<std::size_t>(cx)] =
+          local_lo(cell.xlo, net.sx1, params_->grid_w, g1);
+      col_lx2_[static_cast<std::size_t>(cx)] =
+          local_hi(cell.xhi, net.sx1, params_->grid_w, g1);
+    }
+    row_cy1_.resize(static_cast<std::size_t>(ncy));
+    row_cy2_.resize(static_cast<std::size_t>(ncy));
+    for (int cy = 0; cy < ncy; ++cy) {
+      const Rect cell = cl.cell_rect(net.ix1, net.iy1 + cy);
+      const int ly1 = local_lo(cell.ylo, net.sy1, params_->grid_h, g2);
+      const int ly2 = local_hi(cell.yhi, net.sy1, params_->grid_h, g2);
+      // Canonical frame: mirror the y-span for type II nets.
+      row_cy1_[static_cast<std::size_t>(cy)] = t2 ? g2 - 1 - ly2 : ly1;
+      row_cy2_[static_cast<std::size_t>(cy)] = t2 ? g2 - 1 - ly1 : ly2;
+    }
+
+    const double log_total = table_->log_choose(g1 + g2 - 2, g2 - 1);
+
+    // --- Top-exit pass: one prefix-sum row per covered IR row.
+    prefix_.resize(static_cast<std::size_t>(g1));
+    for (int cy = 0; cy < ncy; ++cy) {
+      const int top = row_cy2_[static_cast<std::size_t>(cy)];
+      if (top >= g2 - 1) continue;  // no cell above: no top exits
+      double term = std::exp(
+          table_->log_choose(g1 - 1 + g2 - 2 - top, g2 - 2 - top) - log_total);
+      double running = 0.0;
+      for (int x = 0; x < g1; ++x) {
+        running += term;
+        prefix_[static_cast<std::size_t>(x)] = running;
+        if (x < g1 - 1) {
+          term *= (static_cast<double>(x + 1 + top) / (x + 1)) *
+                  (static_cast<double>(g1 - 1 - x) /
+                   ((g1 - 1 - x) + (g2 - 2 - top)));
+        }
+      }
+      for (int cx = 0; cx < ncx; ++cx) {
+        const int lx1 = col_lx1_[static_cast<std::size_t>(cx)];
+        const int lx2 = col_lx2_[static_cast<std::size_t>(cx)];
+        const double sum = prefix_[static_cast<std::size_t>(lx2)] -
+                           (lx1 > 0 ? prefix_[static_cast<std::size_t>(lx1 - 1)]
+                                    : 0.0);
+        cell_flow_[index(cx, cy, ncx)] += sum;
+      }
+    }
+
+    // --- Right-exit pass: one prefix-sum column per covered IR column.
+    prefix_.resize(static_cast<std::size_t>(std::max(g1, g2)));
+    for (int cx = 0; cx < ncx; ++cx) {
+      const int right = col_lx2_[static_cast<std::size_t>(cx)];
+      if (right >= g1 - 1) continue;  // no cell to the right
+      double term = std::exp(
+          table_->log_choose(g1 - 2 - right + g2 - 1, g2 - 1) - log_total);
+      double running = 0.0;
+      for (int y = 0; y < g2; ++y) {
+        running += term;
+        prefix_[static_cast<std::size_t>(y)] = running;
+        if (y < g2 - 1) {
+          term *= (static_cast<double>(right + 1 + y) / (y + 1)) *
+                  (static_cast<double>(g2 - 1 - y) /
+                   ((g1 - 2 - right) + (g2 - 1 - y)));
+        }
+      }
+      for (int cy = 0; cy < ncy; ++cy) {
+        const int cy1 = row_cy1_[static_cast<std::size_t>(cy)];
+        const int cy2 = row_cy2_[static_cast<std::size_t>(cy)];
+        const double sum = prefix_[static_cast<std::size_t>(cy2)] -
+                           (cy1 > 0 ? prefix_[static_cast<std::size_t>(cy1 - 1)]
+                                    : 0.0);
+        cell_flow_[index(cx, cy, ncx)] += sum;
+      }
+    }
+
+    // --- Pin override + accumulation into the global map.
+    for (int cy = 0; cy < ncy; ++cy) {
+      const int cy1 = row_cy1_[static_cast<std::size_t>(cy)];
+      const int cy2 = row_cy2_[static_cast<std::size_t>(cy)];
+      for (int cx = 0; cx < ncx; ++cx) {
+        const int lx1 = col_lx1_[static_cast<std::size_t>(cx)];
+        const int lx2 = col_lx2_[static_cast<std::size_t>(cx)];
+        double p = cell_flow_[index(cx, cy, ncx)];
+        const bool covers_source = lx1 == 0 && cy1 == 0;
+        const bool covers_sink = lx2 == g1 - 1 && cy2 == g2 - 1;
+        if (covers_source || covers_sink) p = 1.0;
+        map.add_flow(net.ix1 + cx, net.iy1 + cy, std::clamp(p, 0.0, 1.0));
+      }
+    }
+  }
+
+ private:
+  static std::size_t index(int cx, int cy, int ncx) {
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(ncx) +
+           static_cast<std::size_t>(cx);
+  }
+
+  LogFactorialTable* table_;
+  const IrregularGridParams* params_;
+  // Scratch buffers reused across nets (the model is single-threaded).
+  std::vector<double> cell_flow_;
+  std::vector<double> prefix_;
+  std::vector<int> col_lx1_, col_lx2_, row_cy1_, row_cy2_;
+};
+
+}  // namespace
+
+IrregularCongestionMap IrregularGridModel::evaluate(
+    std::span<const TwoPinNet> nets, const Rect& chip) const {
+  // Algorithm steps 1-2: cut lines from routing ranges, then merge lines
+  // closer than twice the fine pitch.
+  CutLines lines =
+      build_cutlines(nets, chip, params_.merge_factor * params_.grid_w,
+                     params_.merge_factor * params_.grid_h);
+  IrregularCongestionMap map(std::move(lines));
+  const CutLines& cl = map.lines();
+
+  PathProbability exact(table_);
+  const ApproxRegionProbability approx(exact, params_.approx);
+  BandedEvaluator banded(table_, params_);
+
+  for (const TwoPinNet& net : nets) {
+    const Rect range = net.routing_range().intersection(chip);
+    if (!range.valid()) continue;  // net fully outside the chip window
+
+    // Snap the routing range to the merged cut lines (step 2's "modify the
+    // corresponding routing ranges").
+    NetOnGrid on_grid;
+    on_grid.ix1 = cl.nearest_x(range.xlo);
+    on_grid.ix2 = cl.nearest_x(range.xhi);
+    on_grid.iy1 = cl.nearest_y(range.ylo);
+    on_grid.iy2 = cl.nearest_y(range.yhi);
+    on_grid.sx1 = cl.xs()[static_cast<std::size_t>(on_grid.ix1)];
+    on_grid.sy1 = cl.ys()[static_cast<std::size_t>(on_grid.iy1)];
+    const double sx2 = cl.xs()[static_cast<std::size_t>(on_grid.ix2)];
+    const double sy2 = cl.ys()[static_cast<std::size_t>(on_grid.iy2)];
+
+    // Degenerate (line/point) ranges after snapping: the single route
+    // covers its cells with probability 1.
+    if (on_grid.ix1 == on_grid.ix2 || on_grid.iy1 == on_grid.iy2) {
+      const int cx_lo = std::min(on_grid.ix1, cl.nx() - 1);
+      const int cy_lo = std::min(on_grid.iy1, cl.ny() - 1);
+      const int cx_hi = on_grid.ix1 == on_grid.ix2
+                            ? cx_lo
+                            : std::max(0, on_grid.ix2 - 1);
+      const int cy_hi = on_grid.iy1 == on_grid.iy2
+                            ? cy_lo
+                            : std::max(0, on_grid.iy2 - 1);
+      for (int iy = std::min(cy_lo, cy_hi); iy <= std::max(cy_lo, cy_hi);
+           ++iy) {
+        for (int ix = std::min(cx_lo, cx_hi); ix <= std::max(cx_lo, cx_hi);
+             ++ix) {
+          map.add_flow(ix, iy, 1.0);
+        }
+      }
+      continue;
+    }
+
+    // Fine lattice of the snapped routing range.
+    on_grid.shape.g1 = std::max(
+        1,
+        static_cast<int>(std::ceil((sx2 - on_grid.sx1) / params_.grid_w - 1e-9)));
+    on_grid.shape.g2 = std::max(
+        1,
+        static_cast<int>(std::ceil((sy2 - on_grid.sy1) / params_.grid_h - 1e-9)));
+    // Type II iff the left pin is the upper pin (Figure 1).
+    const Point& left = net.a.x <= net.b.x ? net.a : net.b;
+    const Point& right = net.a.x <= net.b.x ? net.b : net.a;
+    on_grid.shape.type2 = !on_grid.shape.degenerate() && left.y > right.y;
+
+    if (params_.strategy == IrEvalStrategy::kBandedExact &&
+        !on_grid.shape.degenerate()) {
+      banded.accumulate(map, cl, on_grid);
+      continue;
+    }
+
+    // Steps 3.1-3.3: score every IR-cell covered by the snapped range.
+    for (int iy = on_grid.iy1; iy < on_grid.iy2; ++iy) {
+      for (int ix = on_grid.ix1; ix < on_grid.ix2; ++ix) {
+        const Rect cell = cl.cell_rect(ix, iy);
+        const GridRect region{
+            local_lo(cell.xlo, on_grid.sx1, params_.grid_w, on_grid.shape.g1),
+            local_lo(cell.ylo, on_grid.sy1, params_.grid_h, on_grid.shape.g2),
+            local_hi(cell.xhi, on_grid.sx1, params_.grid_w, on_grid.shape.g1),
+            local_hi(cell.yhi, on_grid.sy1, params_.grid_h, on_grid.shape.g2)};
+        const double p =
+            params_.strategy == IrEvalStrategy::kTheorem1
+                ? approx.region_probability(on_grid.shape, region)
+                : (exact.region_covers_pin(on_grid.shape, region)
+                       ? 1.0
+                       : exact.region_probability_exact(on_grid.shape, region));
+        map.add_flow(ix, iy, p);
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace ficon

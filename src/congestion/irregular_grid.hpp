@@ -1,0 +1,127 @@
+// The Irregular-Grid congestion model — the paper's core contribution
+// (section 4).
+//
+// Instead of scoring fixed-size cells everywhere, the chip is partitioned
+// by the extended boundaries of every net's routing range ("cut lines");
+// each resulting IR-grid is scored once with the constant-time Theorem 1
+// approximation (or the exact Formula 3 in validation mode). Evaluation
+// effort thus concentrates where routing ranges overlap — the places that
+// can actually become congested — and the per-cell answer no longer depends
+// on an arbitrary grid pitch.
+//
+// The fine-grid pitch parameter (grid_w/grid_h, e.g. 30x30 um^2 in the
+// paper's experiments) only defines the lattice on which route probabilities
+// are computed inside each routing range; it does not partition the chip.
+#pragma once
+
+#include <span>
+
+#include "congestion/approx.hpp"
+#include "congestion/cutlines.hpp"
+#include "route/two_pin.hpp"
+
+namespace ficon {
+
+/// How per-IR-grid crossing probabilities are computed.
+enum class IrEvalStrategy {
+  /// The paper's algorithm: Theorem 1 normal approximation per IR-grid
+  /// (with the section 4.5 pin rule and exact fallbacks). O(1) per region.
+  kTheorem1,
+  /// Exact Formula 3 per IR-grid. O(region edge length) per region;
+  /// the validation reference.
+  kExactPerRegion,
+  /// Exact Formula 3 for ALL IR-grids of a net at once via per-cut-band
+  /// prefix sums of the exit terms (multiplicative recurrences, no
+  /// binomials in the inner loop). Same results as kExactPerRegion to
+  /// floating-point accuracy but O(g1 + g2) per band instead of per cell —
+  /// the fast path for annealing-embedded use. An engineering improvement
+  /// over the paper; see DESIGN.md ("Key design decisions").
+  kBandedExact,
+};
+
+struct IrregularGridParams {
+  double grid_w = 30.0;        ///< fine lattice pitch in x (um)
+  double grid_h = 30.0;        ///< fine lattice pitch in y (um)
+  double top_fraction = 0.10;  ///< cost = mean density over this area share
+  IrEvalStrategy strategy = IrEvalStrategy::kBandedExact;
+  ApproxOptions approx{};      ///< knobs for kTheorem1
+  /// Cut lines closer than merge_factor * pitch are merged (alg. step 2;
+  /// the paper uses "double of the width/length of a grid", i.e. 2.0).
+  double merge_factor = 2.0;
+};
+
+/// Result of one Irregular-Grid evaluation: the cut lines plus the
+/// accumulated crossing probability F(I) of every IR-cell.
+class IrregularCongestionMap {
+ public:
+  IrregularCongestionMap(CutLines lines)
+      : lines_(std::move(lines)),
+        flow_(static_cast<std::size_t>(lines_.cell_count()), 0.0) {}
+
+  const CutLines& lines() const { return lines_; }
+  int nx() const { return lines_.nx(); }
+  int ny() const { return lines_.ny(); }
+
+  /// Number of IR-grids — the "# of IR-grid" column of Table 4.
+  long long cell_count() const { return lines_.cell_count(); }
+
+  /// F(I): summed crossing probabilities of IR-cell (ix, iy).
+  double flow(int ix, int iy) const { return flow_[index(ix, iy)]; }
+  void add_flow(int ix, int iy, double p) { flow_[index(ix, iy)] += p; }
+
+  /// Congestion density of an IR-cell: F(I) / area(I) (um^-2). Cells of
+  /// different sizes are only comparable after this normalization
+  /// (section 4.3).
+  double density(int ix, int iy) const {
+    return flow(ix, iy) / lines_.cell_rect(ix, iy).area();
+  }
+
+  /// Solution cost: area-weighted mean density over the `fraction` of chip
+  /// area with the highest density ("average congestion cost of the top
+  /// 10% most congested area units"). The marginal cell is taken
+  /// fractionally so the cost is continuous in the cell layout.
+  double top_fraction_cost(double fraction = 0.10) const;
+
+  /// CSV dump: "xlo,ylo,xhi,yhi,flow,density" per IR-cell.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::size_t index(int ix, int iy) const {
+    FICON_REQUIRE(ix >= 0 && ix < nx() && iy >= 0 && iy < ny(),
+                  "IR-cell index out of range");
+    return static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx()) +
+           static_cast<std::size_t>(ix);
+  }
+
+  CutLines lines_;
+  std::vector<double> flow_;
+};
+
+class IrregularGridModel {
+ public:
+  explicit IrregularGridModel(IrregularGridParams params = {})
+      : params_(params) {
+    FICON_REQUIRE(params.grid_w > 0.0 && params.grid_h > 0.0,
+                  "fine pitch must be positive");
+    FICON_REQUIRE(params.merge_factor >= 0.0, "negative merge factor");
+  }
+
+  const IrregularGridParams& params() const { return params_; }
+
+  /// Run the full Congestion Information Computation algorithm (section
+  /// 4.6) over the decomposed nets. const apart from the growing
+  /// log-factorial cache (single-threaded).
+  IrregularCongestionMap evaluate(std::span<const TwoPinNet> nets,
+                                  const Rect& chip) const;
+
+  /// Algorithm step 5: top-10%-area mean density.
+  double cost(std::span<const TwoPinNet> nets, const Rect& chip) const {
+    return evaluate(nets, chip).top_fraction_cost(params_.top_fraction);
+  }
+
+ private:
+  IrregularGridParams params_;
+  mutable LogFactorialTable table_;
+};
+
+}  // namespace ficon

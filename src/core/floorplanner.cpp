@@ -1,0 +1,203 @@
+#include "core/floorplanner.hpp"
+
+#include <algorithm>
+
+#include "route/two_pin.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ficon {
+
+Floorplanner::Floorplanner(const Netlist& netlist, FloorplanOptions options)
+    : netlist_(&netlist),
+      options_(options),
+      packer_(netlist),
+      sp_packer_(netlist) {
+  FICON_REQUIRE(options_.objective.alpha >= 0.0 &&
+                    options_.objective.beta >= 0.0 &&
+                    options_.objective.gamma >= 0.0,
+                "objective weights must be non-negative");
+  FICON_REQUIRE(options_.effort > 0.0, "effort must be positive");
+  switch (options_.objective.model) {
+    case CongestionModelKind::kIrregularGrid:
+      irregular_.emplace(options_.objective.irregular);
+      break;
+    case CongestionModelKind::kFixedGrid:
+      fixed_.emplace(options_.objective.fixed);
+      break;
+    case CongestionModelKind::kNone:
+      break;
+  }
+  if (options_.anneal.moves_per_temperature <= 0) {
+    options_.anneal.moves_per_temperature = std::max(
+        10, static_cast<int>(10.0 * options_.effort *
+                             static_cast<double>(netlist.module_count())));
+  } else {
+    options_.anneal.moves_per_temperature = std::max(
+        1, static_cast<int>(options_.effort *
+                            options_.anneal.moves_per_temperature));
+  }
+
+  // Normalization baselines from a short random walk over the active
+  // representation (fixed derived seed so the objective itself is
+  // deterministic and independent of run()).
+  Rng rng(SplitMix64(options_.seed ^ 0xA5A5A5A5DEADBEEFull).next());
+  const int samples =
+      std::max(30, 2 * static_cast<int>(netlist.module_count()));
+  const bool want_congestion =
+      options_.objective.model != CongestionModelKind::kNone &&
+      options_.objective.gamma > 0.0;
+  double area_sum = 0.0, wire_sum = 0.0, cgt_sum = 0.0;
+  const auto sample_placement = [&](const Placement& placement,
+                                    double area) {
+    area_sum += area;
+    wire_sum += mst_wirelength(netlist, placement);
+    if (want_congestion) cgt_sum += congestion_of(placement);
+  };
+  if (options_.engine == FloorplanEngine::kPolishExpression) {
+    PolishExpression expr =
+        PolishExpression::initial(static_cast<int>(netlist.module_count()));
+    for (int i = 0; i < samples; ++i) {
+      expr.random_move(rng);
+      const SlicingResult packed = packer_.pack(expr);
+      sample_placement(packed.placement, packed.area);
+    }
+  } else {
+    SequencePair pair =
+        SequencePair::initial(static_cast<int>(netlist.module_count()));
+    for (int i = 0; i < samples; ++i) {
+      pair.random_move(rng);
+      const SequencePairPacker::Result packed = sp_packer_.pack(pair);
+      sample_placement(packed.placement, packed.area);
+    }
+  }
+  area_scale_ = std::max(area_sum / samples, 1e-12);
+  wire_scale_ = std::max(wire_sum / samples, 1e-12);
+  congestion_scale_ = std::max(cgt_sum / samples, 1e-12);
+}
+
+double Floorplanner::congestion_of(const Placement& placement) const {
+  const auto nets = decompose_to_two_pin(*netlist_, placement);
+  if (irregular_) return irregular_->cost(nets, placement.chip);
+  if (fixed_) return fixed_->cost(nets, placement.chip);
+  return 0.0;
+}
+
+double Floorplanner::raw_cost(const FloorplanMetrics& m) const {
+  const FloorplanObjective& o = options_.objective;
+  const double weight_sum =
+      o.alpha + o.beta +
+      (o.model != CongestionModelKind::kNone ? o.gamma : 0.0);
+  double cost = o.alpha * (m.area / area_scale_) +
+                o.beta * (m.wirelength / wire_scale_);
+  if (o.model != CongestionModelKind::kNone && o.gamma > 0.0) {
+    cost += o.gamma * (m.congestion / congestion_scale_);
+  }
+  return weight_sum > 0.0 ? cost / weight_sum : cost;
+}
+
+FloorplanMetrics Floorplanner::evaluate_placement(
+    const Placement& placement) const {
+  FloorplanMetrics m;
+  m.area = placement.chip.area();
+  m.wirelength = mst_wirelength(*netlist_, placement);
+  if (options_.objective.model != CongestionModelKind::kNone &&
+      options_.objective.gamma > 0.0) {
+    m.congestion = congestion_of(placement);
+  }
+  m.cost = raw_cost(m);
+  return m;
+}
+
+FloorplanMetrics Floorplanner::evaluate(const PolishExpression& expr) const {
+  return evaluate_placement(packer_.pack(expr).placement);
+}
+
+FloorplanMetrics Floorplanner::evaluate(const SequencePair& pair) const {
+  return evaluate_placement(sp_packer_.pack(pair).placement);
+}
+
+FloorplanSolution Floorplanner::run(const SnapshotFn& snapshot) const {
+  return options_.engine == FloorplanEngine::kPolishExpression
+             ? run_polish(snapshot)
+             : run_sequence_pair(snapshot);
+}
+
+FloorplanSolution Floorplanner::run_polish(const SnapshotFn& snapshot) const {
+  Stopwatch timer;
+  Annealer<PolishExpression> annealer(
+      [this](const PolishExpression& e) { return evaluate(e).cost; },
+      [](const PolishExpression& e, Rng& rng) {
+        PolishExpression next = e;
+        next.random_move(rng);
+        return next;
+      },
+      options_.anneal);
+
+  Annealer<PolishExpression>::SnapshotFn hook;
+  if (snapshot) {
+    hook = [this, &snapshot](int step, double temperature,
+                             const PolishExpression& state, double) {
+      TemperatureSnapshot snap;
+      snap.step = step;
+      snap.temperature = temperature;
+      snap.placement = packer_.pack(state).placement;
+      snap.metrics = evaluate_placement(snap.placement);
+      snapshot(snap);
+    };
+  }
+
+  Rng rng(options_.seed);
+  auto result = annealer.run(
+      PolishExpression::initial(static_cast<int>(netlist_->module_count())),
+      rng, hook);
+
+  FloorplanSolution solution;
+  solution.expression = result.best;
+  solution.representation = result.best.to_string();
+  solution.placement = packer_.pack(result.best).placement;
+  solution.metrics = evaluate_placement(solution.placement);
+  solution.seconds = timer.seconds();
+  solution.stats = result.stats;
+  return solution;
+}
+
+FloorplanSolution Floorplanner::run_sequence_pair(
+    const SnapshotFn& snapshot) const {
+  Stopwatch timer;
+  Annealer<SequencePair> annealer(
+      [this](const SequencePair& p) { return evaluate(p).cost; },
+      [](const SequencePair& p, Rng& rng) {
+        SequencePair next = p;
+        next.random_move(rng);
+        return next;
+      },
+      options_.anneal);
+
+  Annealer<SequencePair>::SnapshotFn hook;
+  if (snapshot) {
+    hook = [this, &snapshot](int step, double temperature,
+                             const SequencePair& state, double) {
+      TemperatureSnapshot snap;
+      snap.step = step;
+      snap.temperature = temperature;
+      snap.placement = sp_packer_.pack(state).placement;
+      snap.metrics = evaluate_placement(snap.placement);
+      snapshot(snap);
+    };
+  }
+
+  Rng rng(options_.seed);
+  auto result = annealer.run(
+      SequencePair::initial(static_cast<int>(netlist_->module_count())), rng,
+      hook);
+
+  FloorplanSolution solution;
+  solution.representation = result.best.to_string();
+  solution.placement = sp_packer_.pack(result.best).placement;
+  solution.metrics = evaluate_placement(solution.placement);
+  solution.seconds = timer.seconds();
+  solution.stats = result.stats;
+  return solution;
+}
+
+}  // namespace ficon

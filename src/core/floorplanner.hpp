@@ -1,0 +1,137 @@
+// Routability-driven floorplanner facade — the system the paper embeds its
+// congestion model into.
+//
+// Cost function (paper section 5):
+//     alpha * Area + beta * Wirelength + gamma * Congestion
+// with each term normalized by its average over a warm-up random walk so
+// the weights are scale-free across circuits. The congestion term is
+// pluggable: none (Experiment 1 baseline), the Irregular-Grid model (the
+// paper's contribution) or the fixed-size-grid model (the Experiment 3
+// baseline). Multi-pin nets are decomposed by minimum spanning tree and the
+// wirelength column reports the decomposed Manhattan length, as in the
+// paper's tables.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "anneal/annealer.hpp"
+#include "circuit/netlist.hpp"
+#include "congestion/fixed_grid.hpp"
+#include "congestion/irregular_grid.hpp"
+#include "floorplan/polish.hpp"
+#include "floorplan/sequence_pair.hpp"
+#include "floorplan/slicing.hpp"
+
+namespace ficon {
+
+/// Which congestion estimator the annealing objective uses.
+enum class CongestionModelKind {
+  kNone,           ///< optimize area + wirelength only
+  kIrregularGrid,  ///< the paper's model
+  kFixedGrid,      ///< the ISPD'02 baseline
+};
+
+/// Floorplan representation driving the annealer. The paper uses
+/// normalized Polish expressions [7]; the sequence-pair engine exists to
+/// demonstrate the congestion model is floorplanner-agnostic (section 4.6:
+/// "can be embedded into any general floorplanners").
+enum class FloorplanEngine {
+  kPolishExpression,  ///< Wong-Liu slicing floorplans (the paper's host)
+  kSequencePair,      ///< Murata et al. non-slicing floorplans
+};
+
+struct FloorplanObjective {
+  double alpha = 1.0;  ///< area weight
+  double beta = 1.0;   ///< wirelength weight
+  double gamma = 0.0;  ///< congestion weight (ignored for kNone)
+  CongestionModelKind model = CongestionModelKind::kNone;
+  IrregularGridParams irregular{};
+  FixedGridParams fixed{};
+};
+
+struct FloorplanOptions {
+  FloorplanObjective objective{};
+  FloorplanEngine engine = FloorplanEngine::kPolishExpression;
+  AnnealOptions anneal{};
+  /// Multiplies moves_per_temperature (which itself defaults to
+  /// 10 * module_count when left at 0). FICON_SCALE maps here.
+  double effort = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Metrics of one packed floorplan under a fixed objective.
+struct FloorplanMetrics {
+  double area = 0.0;        ///< chip area, um^2
+  double wirelength = 0.0;  ///< MST-decomposed Manhattan length, um
+  double congestion = 0.0;  ///< objective-model cost (0 for kNone)
+  double cost = 0.0;        ///< normalized weighted cost
+};
+
+struct FloorplanSolution {
+  /// Final Polish expression (kPolishExpression engine only; empty for the
+  /// sequence-pair engine — see `representation` for either).
+  PolishExpression expression;
+  /// Human-readable final representation, engine-agnostic.
+  std::string representation;
+  Placement placement;
+  FloorplanMetrics metrics;
+  double seconds = 0.0;  ///< wall-clock annealing time
+  AnnealStats stats;
+};
+
+/// Per-temperature intermediate solution (Experiment 2 / Figure 9 hook).
+struct TemperatureSnapshot {
+  int step = 0;
+  double temperature = 0.0;
+  Placement placement;
+  FloorplanMetrics metrics;
+};
+
+class Floorplanner {
+ public:
+  Floorplanner(const Netlist& netlist, FloorplanOptions options);
+
+  using SnapshotFn = std::function<void(const TemperatureSnapshot&)>;
+
+  /// Run one annealing optimization; deterministic in options.seed.
+  FloorplanSolution run(const SnapshotFn& snapshot = {}) const;
+
+  /// Pack and score a single expression under this objective (exposed for
+  /// tests, examples and the snapshot path).
+  FloorplanMetrics evaluate(const PolishExpression& expr) const;
+
+  /// Same for a sequence pair (kSequencePair engine).
+  FloorplanMetrics evaluate(const SequencePair& pair) const;
+
+  /// Score an already-packed placement under this objective.
+  FloorplanMetrics evaluate_placement(const Placement& placement) const;
+
+  /// Pack only (no congestion): cheap geometric evaluation.
+  SlicingResult pack(const PolishExpression& expr) const {
+    return packer_.pack(expr);
+  }
+
+  const Netlist& netlist() const { return *netlist_; }
+  const FloorplanOptions& options() const { return options_; }
+
+ private:
+  FloorplanSolution run_polish(const SnapshotFn& snapshot) const;
+  FloorplanSolution run_sequence_pair(const SnapshotFn& snapshot) const;
+  double congestion_of(const Placement& placement) const;
+  double raw_cost(const FloorplanMetrics& m) const;
+
+  const Netlist* netlist_;
+  FloorplanOptions options_;
+  SlicingPacker packer_;
+  SequencePairPacker sp_packer_;
+  std::optional<IrregularGridModel> irregular_;
+  std::optional<FixedGridModel> fixed_;
+  // Normalization baselines, estimated once in the constructor from a
+  // seeded random walk (independent of run()'s RNG stream).
+  double area_scale_ = 1.0;
+  double wire_scale_ = 1.0;
+  double congestion_scale_ = 1.0;
+};
+
+}  // namespace ficon

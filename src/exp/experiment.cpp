@@ -1,0 +1,82 @@
+#include "exp/experiment.hpp"
+
+#include <iostream>
+
+#include "route/two_pin.hpp"
+#include "util/env.hpp"
+
+namespace ficon {
+
+const JudgedRun& SeedSweep::best() const {
+  FICON_REQUIRE(!runs.empty(), "empty sweep");
+  const JudgedRun* best = &runs.front();
+  for (const JudgedRun& r : runs) {
+    if (r.solution.metrics.cost < best->solution.metrics.cost) best = &r;
+  }
+  return *best;
+}
+
+namespace {
+template <typename F>
+double mean_over(const std::vector<JudgedRun>& runs, F&& get) {
+  if (runs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const JudgedRun& r : runs) sum += get(r);
+  return sum / static_cast<double>(runs.size());
+}
+}  // namespace
+
+double SeedSweep::mean_area() const {
+  return mean_over(runs, [](const JudgedRun& r) { return r.solution.metrics.area; });
+}
+double SeedSweep::mean_wirelength() const {
+  return mean_over(runs,
+                   [](const JudgedRun& r) { return r.solution.metrics.wirelength; });
+}
+double SeedSweep::mean_congestion() const {
+  return mean_over(runs,
+                   [](const JudgedRun& r) { return r.solution.metrics.congestion; });
+}
+double SeedSweep::mean_seconds() const {
+  return mean_over(runs, [](const JudgedRun& r) { return r.solution.seconds; });
+}
+double SeedSweep::mean_judging() const {
+  return mean_over(runs, [](const JudgedRun& r) { return r.judging_cost; });
+}
+
+SeedSweep run_seed_sweep(const Netlist& netlist, const FloorplanOptions& base,
+                         int seeds, const FixedGridModel& judge) {
+  FICON_REQUIRE(seeds >= 1, "need at least one seed");
+  SeedSweep sweep;
+  sweep.runs.reserve(static_cast<std::size_t>(seeds));
+  for (int s = 0; s < seeds; ++s) {
+    FloorplanOptions options = base;
+    options.seed = SplitMix64(base.seed + static_cast<std::uint64_t>(s)).next();
+    const Floorplanner planner(netlist, options);
+    JudgedRun run;
+    run.solution = planner.run();
+    const auto nets = decompose_to_two_pin(netlist, run.solution.placement);
+    run.judging_cost = judge.cost(nets, run.solution.placement.chip);
+    sweep.runs.push_back(std::move(run));
+  }
+  return sweep;
+}
+
+ExperimentConfig experiment_config_from_env() {
+  ExperimentConfig config;
+  config.seeds = std::max(1, env_int("FICON_SEEDS", 3));
+  config.scale = env_double("FICON_SCALE", 0.35);
+  config.circuits = env_list(
+      "FICON_CIRCUITS", {"apte", "xerox", "hp", "ami33", "ami49"});
+  config.judging_pitch = env_double("FICON_JUDGING_PITCH", 10.0);
+  return config;
+}
+
+void print_scale_banner(const ExperimentConfig& config) {
+  std::cout << "# seeds=" << config.seeds << " (paper: 20), SA scale="
+            << config.scale
+            << " (paper ~1.0); set FICON_SEEDS / FICON_SCALE / "
+               "FICON_CIRCUITS to rescale\n";
+}
+
+}  // namespace ficon

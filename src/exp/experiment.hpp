@@ -1,0 +1,58 @@
+// Seed-sweep experiment runner.
+//
+// The paper performs every table cell 20 times with different random seeds
+// and reports the average and the best result (best = lowest value of the
+// active cost function). This module runs the sweep, attaches the judging
+// model's verdict to every run (the referee of all three experiments), and
+// aggregates. FICON_SEEDS / FICON_SCALE / FICON_CIRCUITS scale the sweeps
+// (see util/env.hpp).
+#pragma once
+
+#include <vector>
+
+#include "congestion/fixed_grid.hpp"
+#include "core/floorplanner.hpp"
+
+namespace ficon {
+
+/// One annealing run plus the judging model's independent verdict.
+struct JudgedRun {
+  FloorplanSolution solution;
+  double judging_cost = 0.0;
+};
+
+struct SeedSweep {
+  std::vector<JudgedRun> runs;
+
+  /// Run with the lowest active-objective cost (the paper's "best result").
+  const JudgedRun& best() const;
+
+  double mean_area() const;
+  double mean_wirelength() const;
+  double mean_congestion() const;  ///< objective-model congestion
+  double mean_seconds() const;
+  double mean_judging() const;
+};
+
+/// Run `seeds` independent annealing runs (seeds 1..n expanded through
+/// SplitMix64) and judge each solution with `judge`.
+SeedSweep run_seed_sweep(const Netlist& netlist, const FloorplanOptions& base,
+                         int seeds, const FixedGridModel& judge);
+
+/// Standard experiment configuration shared by the benches: resolves
+/// FICON_SEEDS (default 3), FICON_SCALE (default 0.35) and FICON_CIRCUITS
+/// (default all five MCNC circuits).
+struct ExperimentConfig {
+  int seeds = 3;
+  double scale = 0.35;
+  std::vector<std::string> circuits;
+  double judging_pitch = 10.0;
+};
+
+ExperimentConfig experiment_config_from_env();
+
+/// Print the standard "reduced scale" banner so bench output is
+/// self-describing about how it deviates from the paper's setup.
+void print_scale_banner(const ExperimentConfig& config);
+
+}  // namespace ficon

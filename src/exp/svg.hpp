@@ -1,0 +1,36 @@
+// SVG rendering of floorplans and congestion maps — the visual artifacts
+// (cf. the paper's Figures 3-5) for reports and debugging.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "circuit/netlist.hpp"
+#include "congestion/congestion_map.hpp"
+#include "congestion/irregular_grid.hpp"
+
+namespace ficon {
+
+struct SvgOptions {
+  double canvas_px = 800.0;   ///< longer chip edge in pixels
+  bool draw_module_names = true;
+  bool draw_nets = false;     ///< routing-range outlines of 2-pin nets
+  double heat_alpha = 0.65;   ///< opacity of the congestion overlay
+};
+
+/// Render the placement (module outlines + names) to SVG.
+void write_svg(std::ostream& os, const Netlist& netlist,
+               const Placement& placement, const SvgOptions& options = {});
+
+/// Render the placement with a fixed-grid congestion heat overlay.
+void write_svg(std::ostream& os, const Netlist& netlist,
+               const Placement& placement, const CongestionMap& map,
+               const SvgOptions& options = {});
+
+/// Render the placement with the Irregular-Grid density overlay and its
+/// cut lines — the Figure 5 picture for a real circuit.
+void write_svg(std::ostream& os, const Netlist& netlist,
+               const Placement& placement, const IrregularCongestionMap& map,
+               const SvgOptions& options = {});
+
+}  // namespace ficon

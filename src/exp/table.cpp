@@ -1,0 +1,70 @@
+#include "exp/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ficon {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FICON_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  FICON_REQUIRE(cells.size() == headers_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    os << "-|\n";
+  };
+  rule();
+  print_row(headers_);
+  rule();
+  for (const auto& row : rows_) print_row(row);
+  rule();
+}
+
+std::string fmt_fixed(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_general(double v, int significant) {
+  std::ostringstream os;
+  os.precision(significant);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction) {
+  return fmt_fixed(fraction * 100.0, 2);
+}
+
+}  // namespace ficon

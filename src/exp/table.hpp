@@ -1,0 +1,35 @@
+// Plain-text table formatting for the experiment harness — the benches
+// print rows in the same layout as the paper's Tables 1-5.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ficon {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal (e.g. fmt_fixed(1.2345, 2) == "1.23").
+std::string fmt_fixed(double v, int precision);
+
+/// Compact general formatting with `significant` digits.
+std::string fmt_general(double v, int significant = 6);
+
+/// Signed percentage with two decimals, e.g. "-4.68".
+std::string fmt_percent(double fraction);
+
+}  // namespace ficon

@@ -1,0 +1,112 @@
+#include "floorplan/shape.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ficon {
+
+ShapeCurve ShapeCurve::for_module(const Module& module) {
+  std::vector<ShapePoint> pts;
+  if (module.soft) {
+    // Soft module: constant area, aspect within [min, max]. Sample the
+    // range geometrically — the packer interpolates the rest by choosing
+    // among samples. All samples are mutually non-dominated (equal area).
+    constexpr int kSamples = 9;
+    const double area = module.area();
+    const double lo = std::log(module.min_aspect);
+    const double hi = std::log(module.max_aspect);
+    const int n = module.min_aspect == module.max_aspect ? 1 : kSamples;
+    for (int i = 0; i < n; ++i) {
+      const double t = n == 1 ? 0.5 : static_cast<double>(i) / (n - 1);
+      const double aspect = std::exp(lo + t * (hi - lo));
+      const double w = std::sqrt(area * aspect);
+      // a == 0: soft realizations never transpose pin offsets.
+      pts.push_back(ShapePoint{w, area / w, 0, -1});
+    }
+  } else if (module.width == module.height) {
+    pts.push_back(ShapePoint{module.width, module.height, 0, -1});
+  } else {
+    const double lo = std::min(module.width, module.height);
+    const double hi = std::max(module.width, module.height);
+    // Sorted by increasing width: (lo, hi) first. a == 1 marks rotation.
+    pts.push_back(ShapePoint{lo, hi, module.width == lo ? 0 : 1, -1});
+    pts.push_back(ShapePoint{hi, lo, module.width == hi ? 0 : 1, -1});
+  }
+  return ShapeCurve(std::move(pts));
+}
+
+ShapeCurve ShapeCurve::combine_vertical(const ShapeCurve& left,
+                                        const ShapeCurve& right) {
+  FICON_REQUIRE(!left.empty() && !right.empty(), "empty child curve");
+  std::vector<ShapePoint> pts;
+  pts.reserve(left.size() + right.size());
+  std::size_t i = 0, j = 0;
+  while (true) {
+    const ShapePoint& a = left[i];
+    const ShapePoint& b = right[j];
+    pts.push_back(ShapePoint{a.w + b.w, std::max(a.h, b.h),
+                             static_cast<int>(i), static_cast<int>(j)});
+    // Advance the taller (binding) side; a tie advances both. Stop when the
+    // binding side has no taller-to-shorter step left.
+    const bool advance_left = a.h >= b.h;
+    const bool advance_right = b.h >= a.h;
+    if ((advance_left && i + 1 >= left.size()) ||
+        (advance_right && j + 1 >= right.size())) {
+      break;
+    }
+    if (advance_left) ++i;
+    if (advance_right) ++j;
+  }
+  return ShapeCurve(std::move(pts));
+}
+
+ShapeCurve ShapeCurve::combine_horizontal(const ShapeCurve& left,
+                                          const ShapeCurve& right) {
+  FICON_REQUIRE(!left.empty() && !right.empty(), "empty child curve");
+  // Symmetric to the vertical merge with the roles of w and h exchanged:
+  // curves are sorted by increasing w (decreasing h), so we walk from the
+  // END (largest h / smallest w) toward the front, adding heights and
+  // maxing widths, and emit in order of increasing combined width.
+  std::vector<ShapePoint> pts;
+  pts.reserve(left.size() + right.size());
+  std::size_t i = left.size() - 1, j = right.size() - 1;
+  while (true) {
+    const ShapePoint& a = left[i];
+    const ShapePoint& b = right[j];
+    pts.push_back(ShapePoint{std::max(a.w, b.w), a.h + b.h,
+                             static_cast<int>(i), static_cast<int>(j)});
+    const bool advance_left = a.w >= b.w;    // binding (wider) side
+    const bool advance_right = b.w >= a.w;
+    if ((advance_left && i == 0) || (advance_right && j == 0)) break;
+    if (advance_left) --i;
+    if (advance_right) --j;
+  }
+  // Emitted with decreasing width; restore the increasing-width invariant.
+  std::reverse(pts.begin(), pts.end());
+  return ShapeCurve(std::move(pts));
+}
+
+std::size_t ShapeCurve::min_area_index() const {
+  FICON_REQUIRE(!points_.empty(), "empty curve");
+  std::size_t best = 0;
+  double best_area = points_[0].w * points_[0].h;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double area = points_[i].w * points_[i].h;
+    if (area < best_area) {
+      best_area = area;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool ShapeCurve::invariant_holds() const {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (!(points_[i].w > points_[i - 1].w && points_[i].h < points_[i - 1].h)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ficon

@@ -1,0 +1,64 @@
+// Shape curves for slicing floorplans (Stockmeyer's algorithm).
+//
+// A shape curve is the set of non-dominated (width, height) realizations of
+// a subtree: sorted by strictly increasing width and strictly decreasing
+// height. Leaves (hard modules) have up to two points — the canonical
+// orientation and its 90-degree rotation. Internal nodes combine children
+// in O(|a| + |b|) with the classic two-pointer merge, so one slicing-tree
+// evaluation costs O(m log m)-ish in practice — cheap enough to sit inside
+// every annealing move, as the paper's floorplanner requires.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "util/check.hpp"
+
+namespace ficon {
+
+/// One realizable (w, h) of a subtree plus the child choices producing it.
+struct ShapePoint {
+  double w = 0.0;
+  double h = 0.0;
+  // For an internal node: indices into the left/right child curves.
+  // For a leaf: a == 1 means the module is rotated (b unused).
+  int a = -1;
+  int b = -1;
+};
+
+class ShapeCurve {
+ public:
+  ShapeCurve() = default;
+
+  /// Leaf curve for a hard module: {(w,h), (h,w)} pruned and sorted.
+  static ShapeCurve for_module(const Module& module);
+
+  /// Combine children under a vertical cut: widths add, heights max
+  /// (left child placed left of right child).
+  static ShapeCurve combine_vertical(const ShapeCurve& left,
+                                     const ShapeCurve& right);
+
+  /// Combine children under a horizontal cut: heights add, widths max
+  /// (left child placed below right child).
+  static ShapeCurve combine_horizontal(const ShapeCurve& left,
+                                       const ShapeCurve& right);
+
+  const std::vector<ShapePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const ShapePoint& operator[](std::size_t i) const { return points_[i]; }
+
+  /// Index of the minimum-area point.
+  std::size_t min_area_index() const;
+
+  /// True iff points are sorted by strictly increasing w and strictly
+  /// decreasing h (the non-dominance invariant); exposed for tests.
+  bool invariant_holds() const;
+
+ private:
+  explicit ShapeCurve(std::vector<ShapePoint> pts) : points_(std::move(pts)) {}
+
+  std::vector<ShapePoint> points_;
+};
+
+}  // namespace ficon

@@ -1,0 +1,120 @@
+#include "floorplan/slicing.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ficon {
+namespace {
+
+/// One node of the slicing tree in postfix order.
+struct Node {
+  PolishToken token;
+  int left = -1;   ///< node index, -1 for leaves
+  int right = -1;
+  ShapeCurve curve;
+};
+
+}  // namespace
+
+SlicingPacker::SlicingPacker(const Netlist& netlist) {
+  leaf_curves_.reserve(netlist.module_count());
+  for (const Module& m : netlist.modules()) {
+    leaf_curves_.push_back(ShapeCurve::for_module(m));
+  }
+  FICON_REQUIRE(!leaf_curves_.empty(), "netlist has no modules");
+}
+
+SlicingResult SlicingPacker::pack(const PolishExpression& expr) const {
+  FICON_REQUIRE(static_cast<std::size_t>(expr.module_count()) ==
+                    leaf_curves_.size(),
+                "expression does not match netlist module count");
+
+  // Bottom-up: build nodes and shape curves with an explicit stack.
+  std::vector<Node> nodes;
+  nodes.reserve(expr.tokens().size());
+  std::vector<int> stack;
+  stack.reserve(expr.tokens().size());
+  for (const PolishToken& t : expr.tokens()) {
+    Node node;
+    node.token = t;
+    if (t.is_operand()) {
+      node.curve = leaf_curves_[static_cast<std::size_t>(t.value)];
+    } else {
+      FICON_ASSERT(stack.size() >= 2, "malformed expression");
+      node.right = stack.back();
+      stack.pop_back();
+      node.left = stack.back();
+      stack.pop_back();
+      const ShapeCurve& lc = nodes[static_cast<std::size_t>(node.left)].curve;
+      const ShapeCurve& rc = nodes[static_cast<std::size_t>(node.right)].curve;
+      node.curve = t.value == PolishToken::kV
+                       ? ShapeCurve::combine_vertical(lc, rc)
+                       : ShapeCurve::combine_horizontal(lc, rc);
+    }
+    stack.push_back(static_cast<int>(nodes.size()));
+    nodes.push_back(std::move(node));
+  }
+  FICON_ASSERT(stack.size() == 1, "malformed expression");
+  const int root = stack.back();
+
+  SlicingResult result;
+  const ShapeCurve& root_curve = nodes[static_cast<std::size_t>(root)].curve;
+  const std::size_t root_choice = root_curve.min_area_index();
+  result.width = root_curve[root_choice].w;
+  result.height = root_curve[root_choice].h;
+  result.area = result.width * result.height;
+  result.placement.chip = Rect{0.0, 0.0, result.width, result.height};
+  result.placement.module_rects.resize(leaf_curves_.size());
+  result.placement.rotated.resize(leaf_curves_.size(), false);
+
+  // Top-down: assign each node its chosen realization and position.
+  struct Assignment {
+    int node;
+    std::size_t choice;
+    double x, y;
+  };
+  std::vector<Assignment> todo;
+  todo.push_back(Assignment{root, root_choice, 0.0, 0.0});
+  while (!todo.empty()) {
+    const Assignment a = todo.back();
+    todo.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(a.node)];
+    const ShapePoint& pt = node.curve[a.choice];
+    if (node.token.is_operand()) {
+      const auto m = static_cast<std::size_t>(node.token.value);
+      result.placement.module_rects[m] =
+          Rect::from_size(Point{a.x, a.y}, pt.w, pt.h);
+      result.placement.rotated[m] = pt.a == 1;
+      continue;
+    }
+    const auto lc = static_cast<std::size_t>(pt.a);
+    const auto rc = static_cast<std::size_t>(pt.b);
+    const ShapePoint& lp =
+        nodes[static_cast<std::size_t>(node.left)].curve[lc];
+    if (node.token.value == PolishToken::kV) {
+      // Left child at (x, y), right child to its right; bottom-aligned.
+      todo.push_back(Assignment{node.left, lc, a.x, a.y});
+      todo.push_back(Assignment{node.right, rc, a.x + lp.w, a.y});
+    } else {
+      // Left child at (x, y), right child above it; left-aligned.
+      todo.push_back(Assignment{node.left, lc, a.x, a.y});
+      todo.push_back(Assignment{node.right, rc, a.x, a.y + lp.h});
+    }
+  }
+  return result;
+}
+
+bool placement_is_legal(const Placement& placement) {
+  const std::size_t n = placement.module_rects.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rect& a = placement.module_rects[i];
+    if (!a.valid() || !placement.chip.contains(a)) return false;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (a.overlaps_interior(placement.module_rects[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ficon

@@ -1,0 +1,43 @@
+// Slicing-tree packer: Polish expression -> concrete module placement.
+//
+// Bottom-up pass builds the shape curve of every node of the slicing tree
+// encoded by the postfix expression; the minimum-area root realization is
+// selected and a top-down pass assigns module rectangles (V-cut children
+// bottom-aligned left/right; H-cut children left-aligned below/above).
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "floorplan/polish.hpp"
+#include "floorplan/shape.hpp"
+
+namespace ficon {
+
+/// Result of packing one Polish expression.
+struct SlicingResult {
+  Placement placement;  ///< chip rect at origin (0,0) + module rects
+  double width = 0.0;
+  double height = 0.0;
+  double area = 0.0;
+};
+
+/// Packs Polish expressions for one netlist. Leaf shape curves are
+/// precomputed once; pack() is called per annealing move.
+class SlicingPacker {
+ public:
+  explicit SlicingPacker(const Netlist& netlist);
+
+  /// Pack the expression; throws if it does not cover exactly the
+  /// netlist's modules.
+  SlicingResult pack(const PolishExpression& expr) const;
+
+  std::size_t module_count() const { return leaf_curves_.size(); }
+
+ private:
+  std::vector<ShapeCurve> leaf_curves_;
+};
+
+/// True iff no two module rects overlap with positive area and all lie
+/// within the chip; used by tests and debug assertions.
+bool placement_is_legal(const Placement& placement);
+
+}  // namespace ficon

@@ -1,0 +1,34 @@
+// 1-D closed intervals, used by cut-line bookkeeping.
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+
+namespace ficon {
+
+/// Closed interval [lo, hi] on the real line.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+
+  static Interval spanning(double a, double b) {
+    return Interval{std::min(a, b), std::max(a, b)};
+  }
+
+  double length() const { return hi - lo; }
+  bool valid() const { return lo <= hi; }
+  bool contains(double v) const { return v >= lo && v <= hi; }
+  bool overlaps(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+
+  Interval intersection(const Interval& o) const {
+    return Interval{std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.lo << ", " << iv.hi << ']';
+}
+
+}  // namespace ficon

@@ -1,0 +1,55 @@
+// Point types for floorplan geometry.
+//
+// Coordinates are in micrometres (um) throughout the library unless a
+// function documents otherwise; MCNC-scale chips are a few millimetres, so
+// doubles hold all coordinates exactly enough (values < 1e7, integer-ish).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace ficon {
+
+/// A 2-D point with real coordinates (um).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+};
+
+/// Manhattan (L1) distance between two points.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean (L2) distance between two points.
+inline double euclidean(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+/// A 2-D point with integral grid coordinates (cell indices).
+struct GridPoint {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr bool operator==(const GridPoint&, const GridPoint&) = default;
+  friend constexpr auto operator<=>(const GridPoint&, const GridPoint&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GridPoint& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace ficon

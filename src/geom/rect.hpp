@@ -1,0 +1,125 @@
+// Axis-aligned rectangles.
+//
+// A Rect is the closed region [xlo, xhi] x [ylo, yhi]. Degenerate rects
+// (zero width and/or height) are legal and important here: a 2-pin net whose
+// pins share an x or y coordinate has a degenerate routing range (a segment
+// or a point), which the congestion models treat specially (paper section 2).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+#include "geom/point.hpp"
+
+namespace ficon {
+
+/// Closed axis-aligned rectangle [xlo,xhi] x [ylo,yhi], coordinates in um.
+struct Rect {
+  double xlo = 0.0;
+  double ylo = 0.0;
+  double xhi = 0.0;
+  double yhi = 0.0;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  /// Rect spanning two corner points given in any order.
+  static Rect spanning(const Point& a, const Point& b) {
+    return Rect{std::min(a.x, b.x), std::min(a.y, b.y),
+                std::max(a.x, b.x), std::max(a.y, b.y)};
+  }
+
+  /// Rect from origin (lower-left) and size.
+  static Rect from_size(const Point& origin, double w, double h) {
+    return Rect{origin.x, origin.y, origin.x + w, origin.y + h};
+  }
+
+  double width() const { return xhi - xlo; }
+  double height() const { return yhi - ylo; }
+  double area() const { return width() * height(); }
+  double half_perimeter() const { return width() + height(); }
+  Point center() const { return {(xlo + xhi) * 0.5, (ylo + yhi) * 0.5}; }
+  Point lower_left() const { return {xlo, ylo}; }
+  Point upper_right() const { return {xhi, yhi}; }
+
+  /// True iff the invariant xlo <= xhi && ylo <= yhi holds.
+  bool valid() const { return xlo <= xhi && ylo <= yhi; }
+
+  /// Zero width AND zero height (a point).
+  bool is_point() const { return width() == 0.0 && height() == 0.0; }
+  /// Zero width XOR zero height (a horizontal or vertical segment).
+  bool is_segment() const { return (width() == 0.0) != (height() == 0.0); }
+  /// Positive area.
+  bool is_proper() const { return width() > 0.0 && height() > 0.0; }
+
+  /// Closed-region containment (boundary counts as inside).
+  bool contains(const Point& p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+
+  /// True iff `r` lies entirely within this rect (boundaries may touch).
+  bool contains(const Rect& r) const {
+    return r.xlo >= xlo && r.xhi <= xhi && r.ylo >= ylo && r.yhi <= yhi;
+  }
+
+  /// Closed-region overlap test (shared boundary counts as overlap).
+  bool overlaps(const Rect& r) const {
+    return xlo <= r.xhi && r.xlo <= xhi && ylo <= r.yhi && r.ylo <= yhi;
+  }
+
+  /// Open-region overlap test: true only if the intersection has positive
+  /// area. Used by packing validity checks, where modules may abut.
+  bool overlaps_interior(const Rect& r) const {
+    return xlo < r.xhi && r.xlo < xhi && ylo < r.yhi && r.ylo < yhi;
+  }
+
+  /// Intersection with `r`; result may be invalid() if disjoint.
+  Rect intersection(const Rect& r) const {
+    return Rect{std::max(xlo, r.xlo), std::max(ylo, r.ylo),
+                std::min(xhi, r.xhi), std::min(yhi, r.yhi)};
+  }
+
+  /// Smallest rect containing both this and `r`.
+  Rect united(const Rect& r) const {
+    return Rect{std::min(xlo, r.xlo), std::min(ylo, r.ylo),
+                std::max(xhi, r.xhi), std::max(yhi, r.yhi)};
+  }
+
+  /// Rect translated by (dx, dy).
+  Rect translated(double dx, double dy) const {
+    return Rect{xlo + dx, ylo + dy, xhi + dx, yhi + dy};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.xlo << ", " << r.ylo << " .. " << r.xhi << ", "
+            << r.yhi << ']';
+}
+
+/// Closed integer cell-index rectangle [xlo..xhi] x [ylo..yhi]; used for the
+/// fine-grid index span of an IR-grid inside a net's routing range.
+struct GridRect {
+  int xlo = 0;
+  int ylo = 0;
+  int xhi = 0;
+  int yhi = 0;
+
+  friend constexpr bool operator==(const GridRect&, const GridRect&) = default;
+
+  int nx() const { return xhi - xlo + 1; }
+  int ny() const { return yhi - ylo + 1; }
+  long long cell_count() const {
+    return static_cast<long long>(nx()) * static_cast<long long>(ny());
+  }
+  bool valid() const { return xlo <= xhi && ylo <= yhi; }
+  bool contains(int x, int y) const {
+    return x >= xlo && x <= xhi && y >= ylo && y <= yhi;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GridRect& r) {
+  return os << '[' << r.xlo << ".." << r.xhi << "] x [" << r.ylo << ".."
+            << r.yhi << ']';
+}
+
+}  // namespace ficon

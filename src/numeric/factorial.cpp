@@ -1,0 +1,38 @@
+#include "numeric/factorial.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace ficon {
+
+std::uint64_t choose_exact(int n, int k) {
+  FICON_REQUIRE(n >= 0 && k >= 0 && k <= n, "invalid binomial arguments");
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i is always integral at each step; divide by
+    // gcd first to delay overflow as long as possible.
+    const std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
+    const std::uint64_t den = static_cast<std::uint64_t>(i);
+    const std::uint64_t g = std::gcd(result, den);
+    const std::uint64_t r = result / g;
+    const std::uint64_t d = den / g;
+    FICON_REQUIRE(num % d == 0, "internal: non-integral intermediate");
+    const std::uint64_t factor = num / d;
+    FICON_REQUIRE(r <= UINT64_MAX / factor, "binomial overflows 64 bits");
+    result = r * factor;
+  }
+  return result;
+}
+
+double choose_double(int n, int k) {
+  FICON_REQUIRE(n >= 0 && k >= 0 && k <= n, "invalid binomial arguments");
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+}  // namespace ficon

@@ -1,0 +1,72 @@
+// Cached log-factorials and binomial coefficients.
+//
+// Routing ranges of millimetre-scale nets on a 10 um judging grid span
+// hundreds of cells, so the lattice-path counts of Formula 1 reach
+// C(1000, 500) ~ 2.7e299. All probability arithmetic therefore happens in
+// log space; exact integer binomials are only used for small arguments
+// (tests, the Figure 6 worked example).
+//
+// The table grows on demand with amortized doubling. The library is
+// single-threaded by design (an annealing run is a serial Markov chain);
+// the table is not synchronized.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ficon {
+
+/// Lazily grown table of ln(n!) values.
+class LogFactorialTable {
+ public:
+  LogFactorialTable() { values_.push_back(0.0); }  // ln(0!) = 0
+
+  /// ln(n!); grows the cache as needed.
+  double log_factorial(int n) {
+    FICON_REQUIRE(n >= 0, "factorial of negative value");
+    grow_to(n);
+    return values_[static_cast<std::size_t>(n)];
+  }
+
+  /// ln C(n, k); 0 choose 0 is 1. Returns -infinity semantics via the
+  /// is_zero convention of callers: this function REQUIRES 0 <= k <= n.
+  double log_choose(int n, int k) {
+    FICON_REQUIRE(n >= 0 && k >= 0 && k <= n, "invalid binomial arguments");
+    grow_to(n);
+    return values_[static_cast<std::size_t>(n)] -
+           values_[static_cast<std::size_t>(k)] -
+           values_[static_cast<std::size_t>(n - k)];
+  }
+
+  /// Number of monotonic lattice paths across a dx-by-dy step grid:
+  /// ln C(dx+dy, dy). Requires dx, dy >= 0.
+  double log_paths(int dx, int dy) { return log_choose(dx + dy, dy); }
+
+  std::size_t cached_size() const { return values_.size(); }
+
+ private:
+  void grow_to(int n) {
+    const auto need = static_cast<std::size_t>(n) + 1;
+    if (values_.size() >= need) return;
+    values_.reserve(need);
+    while (values_.size() < need) {
+      const auto m = static_cast<double>(values_.size());
+      values_.push_back(values_.back() + std::log(m));
+    }
+  }
+
+  std::vector<double> values_;
+};
+
+/// Exact binomial coefficient in unsigned 64-bit arithmetic.
+/// Requires 0 <= k <= n and a result < 2^64 (n <= 62 is always safe).
+std::uint64_t choose_exact(int n, int k);
+
+/// Binomial coefficient as a double via the multiplicative formula;
+/// accurate for moderate n (used by reference implementations in tests).
+double choose_double(int n, int k);
+
+}  // namespace ficon

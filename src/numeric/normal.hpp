@@ -1,0 +1,30 @@
+// Normal-distribution helpers for the Theorem 1 approximation.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace ficon {
+
+/// Standard normal probability density.
+inline double std_normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+/// Normal pdf with mean mu and standard deviation sigma (> 0).
+inline double normal_pdf(double x, double mu, double sigma) {
+  const double z = (x - mu) / sigma;
+  return std_normal_pdf(z) / sigma;
+}
+
+/// Standard normal CDF via erfc (numerically stable in both tails).
+inline double std_normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+/// Normal CDF with mean mu and standard deviation sigma (> 0).
+inline double normal_cdf(double x, double mu, double sigma) {
+  return std_normal_cdf((x - mu) / sigma);
+}
+
+}  // namespace ficon

@@ -1,0 +1,125 @@
+#include "route/two_pin.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ficon {
+
+std::vector<TwoPinNet> mst_edges(const std::vector<Point>& pins,
+                                 int source_net) {
+  FICON_REQUIRE(pins.size() >= 2, "MST needs at least two pins");
+  const std::size_t k = pins.size();
+  std::vector<TwoPinNet> edges;
+  edges.reserve(k - 1);
+
+  // Prim's algorithm from pin 0.
+  std::vector<bool> in_tree(k, false);
+  std::vector<double> best_dist(k, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> best_parent(k, 0);
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < k; ++j) {
+    best_dist[j] = manhattan(pins[0], pins[j]);
+  }
+  for (std::size_t added = 1; added < k; ++added) {
+    std::size_t next = k;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!in_tree[j] && best_dist[j] < best) {
+        best = best_dist[j];
+        next = j;
+      }
+    }
+    FICON_ASSERT(next < k, "Prim found no next vertex");
+    in_tree[next] = true;
+    edges.push_back(TwoPinNet{pins[best_parent[next]], pins[next],
+                              source_net});
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!in_tree[j]) {
+        const double d = manhattan(pins[next], pins[j]);
+        if (d < best_dist[j]) {
+          best_dist[j] = d;
+          best_parent[j] = next;
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<TwoPinNet> star_edges(const std::vector<Point>& pins,
+                                  int source_net) {
+  FICON_REQUIRE(pins.size() >= 2, "star needs at least two pins");
+  // Componentwise median minimizes total Manhattan distance to the hub.
+  std::vector<double> xs, ys;
+  xs.reserve(pins.size());
+  ys.reserve(pins.size());
+  for (const Point& p : pins) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  const auto median = [](std::vector<double>& v) {
+    const auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+    std::nth_element(v.begin(), mid, v.end());
+    return *mid;
+  };
+  const Point hub{median(xs), median(ys)};
+  std::vector<TwoPinNet> edges;
+  edges.reserve(pins.size());
+  for (const Point& p : pins) {
+    edges.push_back(TwoPinNet{hub, p, source_net});
+  }
+  return edges;
+}
+
+std::vector<TwoPinNet> decompose_to_two_pin(const Netlist& netlist,
+                                            const Placement& placement,
+                                            Decomposition method) {
+  FICON_REQUIRE(placement.module_rects.size() == netlist.module_count(),
+                "placement does not match netlist");
+  std::vector<TwoPinNet> result;
+  result.reserve(netlist.pin_count());  // upper bound: sum (degree - 1)
+  std::vector<Point> pins;
+  for (std::size_t n = 0; n < netlist.net_count(); ++n) {
+    const Net& net = netlist.nets()[n];
+    pins.clear();
+    pins.reserve(net.pins.size());
+    for (const Pin& pin : net.pins) {
+      pins.push_back(placement.pin_position(pin));
+    }
+    auto edges = method == Decomposition::kMst
+                     ? mst_edges(pins, static_cast<int>(n))
+                     : star_edges(pins, static_cast<int>(n));
+    result.insert(result.end(), edges.begin(), edges.end());
+  }
+  return result;
+}
+
+double mst_wirelength(const Netlist& netlist, const Placement& placement) {
+  double total = 0.0;
+  for (const TwoPinNet& e : decompose_to_two_pin(netlist, placement)) {
+    total += e.manhattan_length();
+  }
+  return total;
+}
+
+double hpwl(const Netlist& netlist, const Placement& placement) {
+  FICON_REQUIRE(placement.module_rects.size() == netlist.module_count(),
+                "placement does not match netlist");
+  double total = 0.0;
+  for (const Net& net : netlist.nets()) {
+    double xlo = std::numeric_limits<double>::infinity(), xhi = -xlo;
+    double ylo = xlo, yhi = -xlo;
+    for (const Pin& pin : net.pins) {
+      const Point p = placement.pin_position(pin);
+      xlo = std::min(xlo, p.x);
+      xhi = std::max(xhi, p.x);
+      ylo = std::min(ylo, p.y);
+      yhi = std::max(yhi, p.y);
+    }
+    total += (xhi - xlo) + (yhi - ylo);
+  }
+  return total;
+}
+
+}  // namespace ficon

@@ -1,0 +1,60 @@
+// Multi-pin net decomposition and wirelength evaluation.
+//
+// The paper (section 5) decomposes every multi-pin net into 2-pin nets by a
+// minimum spanning tree before congestion estimation, and reports total
+// wirelength over the decomposed nets. The MST is built on Manhattan
+// distance between pin positions under a concrete placement.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace ficon {
+
+/// A 2-pin net produced by decomposition: two endpoints in chip coordinates
+/// plus the index of the originating multi-pin net.
+struct TwoPinNet {
+  Point a;
+  Point b;
+  int source_net = -1;
+
+  /// Bounding box of the two pins = the net's routing range (paper sect. 2).
+  Rect routing_range() const { return Rect::spanning(a, b); }
+
+  double manhattan_length() const { return manhattan(a, b); }
+};
+
+/// Decompose one pin set into MST edges (Prim, O(k^2); net degrees are
+/// small). Coincident pins yield zero-length edges, which are kept: the
+/// models treat a point routing range as "passes through its cell with
+/// probability 1".
+std::vector<TwoPinNet> mst_edges(const std::vector<Point>& pins,
+                                 int source_net);
+
+/// Star decomposition: every pin connects to the pin set's componentwise
+/// median — the hub minimizing total Manhattan length over all hub choices.
+/// The hub is a Steiner point, so the star can be shorter OR longer than
+/// the pin-spanning MST; its length is always >= the net's HPWL. Exposed
+/// for decomposition-sensitivity studies (the paper uses the MST).
+std::vector<TwoPinNet> star_edges(const std::vector<Point>& pins,
+                                  int source_net);
+
+/// Multi-pin decomposition strategy. The paper uses the MST (section 5).
+enum class Decomposition { kMst, kStar };
+
+/// Decompose every net of the netlist under the given placement.
+std::vector<TwoPinNet> decompose_to_two_pin(
+    const Netlist& netlist, const Placement& placement,
+    Decomposition method = Decomposition::kMst);
+
+/// Total Manhattan wirelength of the MST decomposition — the "wire length"
+/// column of the paper's tables.
+double mst_wirelength(const Netlist& netlist, const Placement& placement);
+
+/// Half-perimeter wirelength (cheaper; used as an SA cost alternative).
+double hpwl(const Netlist& netlist, const Placement& placement);
+
+}  // namespace ficon

@@ -1,0 +1,157 @@
+#include "router/global_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.hpp"
+
+namespace ficon {
+
+double RoutedCongestion::max_usage() const {
+  return usage_.empty() ? 0.0 : max_of(usage_);
+}
+
+double RoutedCongestion::top_fraction_usage(double fraction) const {
+  return top_fraction_mean(usage_, fraction);
+}
+
+double RoutedCongestion::overflow(double capacity) const {
+  double total = 0.0;
+  for (const double u : usage_) total += std::max(0.0, u - capacity);
+  return total;
+}
+
+long long RoutedCongestion::overflowed_cells(double capacity) const {
+  long long count = 0;
+  for (const double u : usage_) {
+    if (u > capacity) ++count;
+  }
+  return count;
+}
+
+GlobalRouter::GlobalRouter(RouterParams params) : params_(params) {
+  FICON_REQUIRE(params.pitch > 0.0, "pitch must be positive");
+  FICON_REQUIRE(params.capacity > 0.0, "capacity must be positive");
+  FICON_REQUIRE(params.ripup_passes >= 0, "negative rip-up pass count");
+}
+
+namespace {
+
+/// One net's chosen path, as global grid cells.
+using Path = std::vector<GridPoint>;
+
+/// Route one net with a min-congestion monotone DP inside its span.
+/// `usage` is read for costs; the caller commits the returned path.
+Path route_net(const RoutedCongestion& state, const SpannedNet& span,
+               double capacity) {
+  const int g1 = span.shape.g1;
+  const int g2 = span.shape.g2;
+  const auto global_cell = [&](int lx, int ly) {
+    const int gy = span.shape.type2 ? (g2 - 1 - ly) : ly;
+    return GridPoint{span.origin.x + lx, span.origin.y + gy};
+  };
+  const auto cell_cost = [&](int lx, int ly) {
+    const GridPoint c = global_cell(lx, ly);
+    return state.usage(c.x, c.y) / capacity;
+  };
+
+  // Degenerate ranges have a single possible path.
+  Path path;
+  if (span.shape.degenerate()) {
+    for (int ly = 0; ly < g2; ++ly) {
+      for (int lx = 0; lx < g1; ++lx) {
+        path.push_back(global_cell(lx, ly));
+      }
+    }
+    return path;
+  }
+
+  // DP over the canonical frame: source (0,0), sink (g1-1, g2-1), moves
+  // +x / +y. All monotone paths share their length, so congestion is the
+  // only cost term.
+  std::vector<double> cost(static_cast<std::size_t>(g1) *
+                           static_cast<std::size_t>(g2));
+  const auto at = [&](int x, int y) -> double& {
+    return cost[static_cast<std::size_t>(y) * static_cast<std::size_t>(g1) +
+                static_cast<std::size_t>(x)];
+  };
+  for (int y = 0; y < g2; ++y) {
+    for (int x = 0; x < g1; ++x) {
+      double best = 0.0;
+      if (x > 0 && y > 0) {
+        best = std::min(at(x - 1, y), at(x, y - 1));
+      } else if (x > 0) {
+        best = at(x - 1, y);
+      } else if (y > 0) {
+        best = at(x, y - 1);
+      }
+      at(x, y) = best + cell_cost(x, y);
+    }
+  }
+
+  // Backtrack, preferring the cheaper predecessor.
+  int x = g1 - 1, y = g2 - 1;
+  path.push_back(global_cell(x, y));
+  while (x > 0 || y > 0) {
+    if (x > 0 && (y == 0 || at(x - 1, y) <= at(x, y - 1))) {
+      --x;
+    } else {
+      --y;
+    }
+    path.push_back(global_cell(x, y));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void commit(RoutedCongestion& state, const Path& path, double delta) {
+  for (const GridPoint& c : path) {
+    state.add_usage(c.x, c.y, delta);
+  }
+}
+
+}  // namespace
+
+RoutedCongestion GlobalRouter::route(std::span<const TwoPinNet> nets,
+                                     const Rect& chip) const {
+  const GridSpec grid =
+      GridSpec::from_pitch(chip, params_.pitch, params_.pitch);
+  RoutedCongestion state(grid);
+
+  // Long nets first: they have the most freedom and create the global
+  // congestion picture the short nets then dodge.
+  std::vector<std::size_t> order(nets.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return nets[a].routing_range().half_perimeter() >
+                            nets[b].routing_range().half_perimeter();
+                   });
+
+  std::vector<Path> paths(nets.size());
+  for (const std::size_t i : order) {
+    paths[i] = route_net(state, span_net(grid, nets[i]), params_.capacity);
+    commit(state, paths[i], 1.0);
+  }
+
+  // Rip-up and re-route nets that cross overflowed cells.
+  for (int pass = 0; pass < params_.ripup_passes; ++pass) {
+    bool any = false;
+    for (const std::size_t i : order) {
+      const bool overflowed = std::any_of(
+          paths[i].begin(), paths[i].end(), [&](const GridPoint& c) {
+            return state.usage(c.x, c.y) > params_.capacity;
+          });
+      if (!overflowed) continue;
+      any = true;
+      commit(state, paths[i], -1.0);
+      paths[i] = route_net(state, span_net(grid, nets[i]), params_.capacity);
+      commit(state, paths[i], 1.0);
+    }
+    if (!any) break;
+  }
+  return state;
+}
+
+}  // namespace ficon

@@ -1,0 +1,86 @@
+// Grid-based global router substrate.
+//
+// The paper's whole premise is that probabilistic congestion estimates
+// predict *post-routing* congestion; its experiments approximate "real"
+// congestion with a fine fixed-grid estimator (the judging model). This
+// router closes the loop further: it actually routes the decomposed 2-pin
+// nets on a capacitated grid and reports realized usage, so the library
+// can correlate BOTH estimators against routed congestion
+// (bench_router_validation).
+//
+// Routing model (deliberately matched to the paper's assumption set):
+//   * each 2-pin net takes one multi-bend monotone (staircase) path inside
+//     its routing range — the same path family Formulas 1-3 count;
+//   * the path is chosen by dynamic programming to minimize the sum of
+//     current cell congestion (usage/capacity) along the way, so later
+//     nets avoid hot cells;
+//   * nets are routed in decreasing half-perimeter order (long nets first,
+//     the common global-routing heuristic), then an optional rip-up phase
+//     re-routes nets crossing overflowed cells.
+//
+// Degenerate nets (point/line ranges) occupy their cells directly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "congestion/grid_spec.hpp"
+#include "route/two_pin.hpp"
+
+namespace ficon {
+
+struct RouterParams {
+  double pitch = 10.0;      ///< routing-grid cell size (um)
+  double capacity = 4.0;    ///< track capacity per cell
+  int ripup_passes = 1;     ///< re-route rounds for overflowed nets
+};
+
+/// Result of routing one workload: per-cell usage plus summary metrics.
+class RoutedCongestion {
+ public:
+  RoutedCongestion(GridSpec grid)
+      : grid_(grid),
+        usage_(static_cast<std::size_t>(grid.cell_count()), 0.0) {}
+
+  const GridSpec& grid() const { return grid_; }
+  double usage(int cx, int cy) const { return usage_[index(cx, cy)]; }
+  void add_usage(int cx, int cy, double u) { usage_[index(cx, cy)] += u; }
+  const std::vector<double>& usage() const { return usage_; }
+
+  /// Max cell usage over the chip.
+  double max_usage() const;
+  /// Mean usage of the top `fraction` most used cells (comparable to the
+  /// estimators' top-10% cost).
+  double top_fraction_usage(double fraction = 0.10) const;
+  /// Total overflow: sum over cells of max(0, usage - capacity).
+  double overflow(double capacity) const;
+  /// Number of cells with usage above capacity.
+  long long overflowed_cells(double capacity) const;
+
+ private:
+  std::size_t index(int cx, int cy) const {
+    FICON_REQUIRE(cx >= 0 && cx < grid_.nx() && cy >= 0 && cy < grid_.ny(),
+                  "cell index out of range");
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(grid_.nx()) +
+           static_cast<std::size_t>(cx);
+  }
+
+  GridSpec grid_;
+  std::vector<double> usage_;
+};
+
+class GlobalRouter {
+ public:
+  explicit GlobalRouter(RouterParams params = {});
+
+  const RouterParams& params() const { return params_; }
+
+  /// Route the workload and return realized per-cell usage.
+  RoutedCongestion route(std::span<const TwoPinNet> nets,
+                         const Rect& chip) const;
+
+ private:
+  RouterParams params_;
+};
+
+}  // namespace ficon

@@ -1,0 +1,50 @@
+// Precondition / invariant checking helpers.
+//
+// Public API entry points validate their arguments with FICON_REQUIRE,
+// which throws std::invalid_argument — callers get a diagnosable error
+// instead of UB. Internal invariants use FICON_ASSERT (std::logic_error),
+// kept on in all build types: this library's correctness claims are the
+// whole point of the reproduction, and the checks are cheap relative to
+// the math around them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ficon::detail {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assertion(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ficon::detail
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument.
+#define FICON_REQUIRE(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::ficon::detail::throw_requirement(#expr, __FILE__, __LINE__,    \
+                                         std::string(msg));            \
+  } while (false)
+
+/// Validate an internal invariant; throws std::logic_error.
+#define FICON_ASSERT(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::ficon::detail::throw_assertion(#expr, __FILE__, __LINE__,      \
+                                       std::string(msg));              \
+  } while (false)

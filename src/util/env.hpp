@@ -1,0 +1,51 @@
+// Environment-variable knobs for experiment scaling.
+//
+// The paper ran 20 annealing seeds per table cell on a 2.4 GHz P4; the
+// default bench configuration here is scaled down so the whole harness runs
+// in minutes. FICON_SEEDS / FICON_SCALE / FICON_CIRCUITS restore paper-scale
+// runs without recompiling.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ficon {
+
+inline std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::string(v) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<int>(parsed) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// Comma-separated list (e.g. FICON_CIRCUITS=apte,ami33).
+inline std::vector<std::string> env_list(const char* name,
+                                         const std::vector<std::string>& fb) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fb;
+  std::vector<std::string> out;
+  std::istringstream is(v);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out.empty() ? fb : out;
+}
+
+}  // namespace ficon

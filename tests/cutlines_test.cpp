@@ -1,0 +1,159 @@
+// Cut-line construction and merging (algorithm steps 1-2, Figure 5).
+#include <gtest/gtest.h>
+
+#include "congestion/cutlines.hpp"
+#include "util/rng.hpp"
+
+namespace ficon {
+namespace {
+
+const Rect kChip{0, 0, 1000, 1000};
+
+TEST(MergeLines, KeepsWellSeparatedLines) {
+  const auto merged = merge_lines({200, 500, 800}, 0, 1000, 60);
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_DOUBLE_EQ(merged.front(), 0);
+  EXPECT_DOUBLE_EQ(merged[1], 200);
+  EXPECT_DOUBLE_EQ(merged[2], 500);
+  EXPECT_DOUBLE_EQ(merged[3], 800);
+  EXPECT_DOUBLE_EQ(merged.back(), 1000);
+}
+
+TEST(MergeLines, ClustersCloseLinesToTheirMean) {
+  const auto merged = merge_lines({300, 310, 320, 700}, 0, 1000, 60);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_DOUBLE_EQ(merged[1], 310);  // mean of the cluster
+  EXPECT_DOUBLE_EQ(merged[2], 700);
+}
+
+TEST(MergeLines, PinsChipBoundaries) {
+  // Lines hugging a boundary are swallowed by it.
+  const auto merged = merge_lines({10, 20, 990}, 0, 1000, 60);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.front(), 0);
+  EXPECT_DOUBLE_EQ(merged.back(), 1000);
+}
+
+TEST(MergeLines, ZeroGapKeepsAllDistinctLines) {
+  // Regression: min_gap == 0 (merging disabled) must terminate and keep
+  // every distinct interior coordinate.
+  const auto merged = merge_lines({100, 100, 250, 400, 400, 990}, 0, 1000, 0);
+  ASSERT_EQ(merged.size(), 6u);  // lo, 100, 250, 400, 990, hi
+  EXPECT_DOUBLE_EQ(merged[1], 100);
+  EXPECT_DOUBLE_EQ(merged[2], 250);
+  EXPECT_DOUBLE_EQ(merged[3], 400);
+  EXPECT_DOUBLE_EQ(merged[4], 990);
+}
+
+TEST(MergeLines, ResultSortedWithMinimumSpacing) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> coords;
+    const int n = rng.uniform_int(0, 60);
+    for (int i = 0; i < n; ++i) coords.push_back(rng.uniform(0, 1000));
+    const double gap = rng.uniform(10, 120);
+    const auto merged = merge_lines(coords, 0, 1000, gap);
+    ASSERT_GE(merged.size(), 2u);
+    EXPECT_DOUBLE_EQ(merged.front(), 0);
+    EXPECT_DOUBLE_EQ(merged.back(), 1000);
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+      // Guaranteed half-gap separation (see cutlines.cpp).
+      EXPECT_GE(merged[i] - merged[i - 1], gap * 0.5 - 1e-9)
+          << "trial " << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(MergeLines, EveryInputSnapsWithinGap) {
+  // No original cut line may end up farther than one merge gap from a
+  // representative — otherwise a routing range would shift visibly.
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> coords;
+    for (int i = 0; i < 40; ++i) coords.push_back(rng.uniform(0, 1000));
+    const double gap = 50;
+    const auto merged = merge_lines(coords, 0, 1000, gap);
+    for (const double c : coords) {
+      double nearest = 1e300;
+      for (const double m : merged) nearest = std::min(nearest, std::abs(m - c));
+      EXPECT_LE(nearest, gap + 1e-9) << "coord " << c;
+    }
+  }
+}
+
+TEST(CutLines, NearestLookup) {
+  const CutLines lines({0, 100, 250, 1000}, {0, 400, 1000});
+  EXPECT_EQ(lines.nearest_x(-50), 0);
+  EXPECT_EQ(lines.nearest_x(40), 0);
+  EXPECT_EQ(lines.nearest_x(60), 1);
+  EXPECT_EQ(lines.nearest_x(100), 1);
+  EXPECT_EQ(lines.nearest_x(180), 2);
+  EXPECT_EQ(lines.nearest_x(9999), 3);
+  EXPECT_EQ(lines.nearest_y(400), 1);
+}
+
+TEST(CutLines, CellGeometry) {
+  const CutLines lines({0, 100, 250, 1000}, {0, 400, 1000});
+  EXPECT_EQ(lines.nx(), 3);
+  EXPECT_EQ(lines.ny(), 2);
+  EXPECT_EQ(lines.cell_count(), 6);
+  EXPECT_EQ(lines.cell_rect(0, 0), (Rect{0, 0, 100, 400}));
+  EXPECT_EQ(lines.cell_rect(2, 1), (Rect{250, 400, 1000, 1000}));
+  EXPECT_THROW(lines.cell_rect(3, 0), std::invalid_argument);
+}
+
+TEST(CutLines, RejectsUnsortedOrEmpty) {
+  EXPECT_THROW(CutLines({100, 0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(CutLines({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(BuildCutlines, FigureFiveStructure) {
+  // Two disjoint routing ranges: each contributes two lines per axis; with
+  // the chip boundary that is up to 6 lines per axis (5x5 IR-cells).
+  const std::vector<TwoPinNet> nets{
+      {Point{100, 100}, Point{300, 400}, 0},
+      {Point{600, 500}, Point{900, 800}, 1},
+  };
+  const CutLines lines = build_cutlines(nets, kChip, 20, 20);
+  EXPECT_EQ(lines.xs().size(), 6u);
+  EXPECT_EQ(lines.ys().size(), 6u);
+  // Every routing-range boundary must be present as a cut line.
+  for (const double v : {100.0, 300.0, 600.0, 900.0}) {
+    double nearest = 1e300;
+    for (const double m : lines.xs()) nearest = std::min(nearest, std::abs(m - v));
+    EXPECT_LE(nearest, 1e-9) << v;
+  }
+}
+
+TEST(BuildCutlines, SharedBoundariesDeduplicate) {
+  // Nets sharing a pin x-coordinate produce one line, not two.
+  const std::vector<TwoPinNet> nets{
+      {Point{200, 100}, Point{500, 300}, 0},
+      {Point{200, 600}, Point{700, 900}, 1},
+  };
+  const CutLines lines = build_cutlines(nets, kChip, 20, 20);
+  int near_200 = 0;
+  for (const double m : lines.xs()) {
+    if (std::abs(m - 200) < 1e-9) ++near_200;
+  }
+  EXPECT_EQ(near_200, 1);
+}
+
+TEST(BuildCutlines, ClampsRangesOutsideChip) {
+  const std::vector<TwoPinNet> nets{{Point{-50, 200}, Point{1200, 700}, 0}};
+  const CutLines lines = build_cutlines(nets, kChip, 20, 20);
+  EXPECT_DOUBLE_EQ(lines.xs().front(), 0);
+  EXPECT_DOUBLE_EQ(lines.xs().back(), 1000);
+  for (const double x : lines.xs()) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(BuildCutlines, EmptyNetListGivesSingleCell) {
+  const CutLines lines = build_cutlines({}, kChip, 20, 20);
+  EXPECT_EQ(lines.cell_count(), 1);
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,118 @@
+// Experiment harness: seed sweeps, aggregates and table formatting.
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mcnc.hpp"
+#include "exp/experiment.hpp"
+#include "exp/table.hpp"
+
+namespace ficon {
+namespace {
+
+FloorplanOptions fast_options() {
+  FloorplanOptions o;
+  o.effort = 0.1;
+  o.anneal.cooling = 0.75;
+  o.anneal.max_stall_temperatures = 3;
+  o.anneal.stop_temperature_ratio = 1e-2;
+  return o;
+}
+
+TEST(SeedSweep, RunsAndAggregates) {
+  const Netlist netlist = make_mcnc("hp");
+  const FixedGridModel judge = make_judging_model(50.0);
+  const SeedSweep sweep = run_seed_sweep(netlist, fast_options(), 3, judge);
+  ASSERT_EQ(sweep.runs.size(), 3u);
+  EXPECT_GT(sweep.mean_area(), 0.0);
+  EXPECT_GT(sweep.mean_wirelength(), 0.0);
+  EXPECT_GT(sweep.mean_judging(), 0.0);
+  EXPECT_GT(sweep.mean_seconds(), 0.0);
+  // Best = minimum cost over runs.
+  const JudgedRun& best = sweep.best();
+  for (const JudgedRun& r : sweep.runs) {
+    EXPECT_LE(best.solution.metrics.cost, r.solution.metrics.cost);
+  }
+}
+
+TEST(SeedSweep, SeedsDiffer) {
+  const Netlist netlist = make_mcnc("hp");
+  const FixedGridModel judge = make_judging_model(50.0);
+  const SeedSweep sweep = run_seed_sweep(netlist, fast_options(), 2, judge);
+  EXPECT_NE(sweep.runs[0].solution.expression.to_string(),
+            sweep.runs[1].solution.expression.to_string());
+}
+
+TEST(SeedSweep, ReproducibleEndToEnd) {
+  const Netlist netlist = make_mcnc("hp");
+  const FixedGridModel judge = make_judging_model(50.0);
+  const SeedSweep a = run_seed_sweep(netlist, fast_options(), 2, judge);
+  const SeedSweep b = run_seed_sweep(netlist, fast_options(), 2, judge);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.runs[i].solution.metrics.area,
+                     b.runs[i].solution.metrics.area);
+    EXPECT_DOUBLE_EQ(a.runs[i].judging_cost, b.runs[i].judging_cost);
+  }
+}
+
+TEST(SeedSweep, RequiresAtLeastOneSeed) {
+  const Netlist netlist = make_mcnc("hp");
+  const FixedGridModel judge = make_judging_model(50.0);
+  EXPECT_THROW(run_seed_sweep(netlist, fast_options(), 0, judge),
+               std::invalid_argument);
+}
+
+TEST(ExperimentConfig, ReadsEnvironment) {
+  ::setenv("FICON_SEEDS", "7", 1);
+  ::setenv("FICON_SCALE", "0.5", 1);
+  ::setenv("FICON_CIRCUITS", "hp,ami33", 1);
+  const ExperimentConfig c = experiment_config_from_env();
+  EXPECT_EQ(c.seeds, 7);
+  EXPECT_DOUBLE_EQ(c.scale, 0.5);
+  ASSERT_EQ(c.circuits.size(), 2u);
+  EXPECT_EQ(c.circuits[0], "hp");
+  ::unsetenv("FICON_SEEDS");
+  ::unsetenv("FICON_SCALE");
+  ::unsetenv("FICON_CIRCUITS");
+  const ExperimentConfig d = experiment_config_from_env();
+  EXPECT_EQ(d.seeds, 3);
+  EXPECT_EQ(d.circuits.size(), 5u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"circuit", "area", "time"});
+  t.add_row({"apte", "48.52", "36.7"});
+  t.add_row({"ami33", "1.27", "196"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("circuit"), std::string::npos);
+  EXPECT_NE(out.find("ami33"), std::string::npos);
+  // All rows share the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsBadRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt_percent(0.12128), "12.13");
+  EXPECT_EQ(fmt_general(123456.789, 4), "1.235e+05");
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,237 @@
+// Formula 3 validation: exact IR-region crossing probabilities.
+//
+// Pins the library's exit-edge computation against (a) the paper's worked
+// example of Figure 6 (245 routes of 252), (b) a literal transcription of
+// the paper's Formula 3 for both net types, and (c) the avoidance-DP
+// oracle, over exhaustive region sweeps.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "congestion/path_prob.hpp"
+#include "numeric/factorial.hpp"
+
+namespace ficon {
+namespace {
+
+/// Literal Formula 3 with plain double binomials. Only valid when the
+/// region does NOT cover the sink-side pin (the library handles that case
+/// by frame rotation); tests restrict accordingly.
+double paper_region_probability(int g1, int g2, bool type2, GridRect r) {
+  const auto ta = [&](int x, int y) -> double {
+    if (x < 0 || x >= g1 || y < 0 || y >= g2) return 0.0;
+    return type2 ? choose_double(x + (g2 - 1 - y), x)
+                 : choose_double(x + y, y);
+  };
+  const auto tb = [&](int x, int y) -> double {
+    if (x < 0 || x >= g1 || y < 0 || y >= g2) return 0.0;
+    return type2 ? choose_double((g1 - 1 - x) + y, g1 - 1 - x)
+                 : choose_double(g1 + g2 - 2 - x - y, g2 - 1 - y);
+  };
+  const double total = type2 ? ta(g1 - 1, 0) : ta(g1 - 1, g2 - 1);
+  double routes = 0.0;
+  if (!type2) {
+    // Type I: exits through the top edge (y2 -> y2+1) and right edge.
+    for (int x = r.xlo; x <= r.xhi; ++x) routes += ta(x, r.yhi) * tb(x, r.yhi + 1);
+    for (int y = r.ylo; y <= r.yhi; ++y) routes += ta(r.xhi, y) * tb(r.xhi + 1, y);
+  } else {
+    // Type II: exits through the bottom edge (y1 -> y1-1) and right edge.
+    for (int x = r.xlo; x <= r.xhi; ++x) routes += ta(x, r.ylo) * tb(x, r.ylo - 1);
+    for (int y = r.ylo; y <= r.yhi; ++y) routes += ta(r.xhi, y) * tb(r.xhi + 1, y);
+  }
+  return routes / total;
+}
+
+TEST(Formula3, Figure6WorkedExample) {
+  // Paper, Figure 6: routing range of 6x6 grids, pins in cells (0,0) and
+  // (5,5); the IR-grid covering columns 1..3 and rows 1..4 (0-based) is
+  // crossed by 245 of the C(10,5) = 252 routes.
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{6, 6, false};
+  const GridRect region{1, 1, 3, 4};
+  EXPECT_NEAR(prob.region_probability_exact(s, region), 245.0 / 252.0, 1e-12);
+  EXPECT_NEAR(prob.region_probability_oracle(s, region), 245.0 / 252.0, 1e-12);
+  EXPECT_NEAR(paper_region_probability(6, 6, false, region), 245.0 / 252.0,
+              1e-12);
+}
+
+class RegionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(RegionSweep, MatchesOracleForAllRegions) {
+  const auto [g1, g2, type2] = GetParam();
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{g1, g2, type2};
+  for (int x1 = 0; x1 < g1; ++x1) {
+    for (int x2 = x1; x2 < g1; ++x2) {
+      for (int y1 = 0; y1 < g2; ++y1) {
+        for (int y2 = y1; y2 < g2; ++y2) {
+          const GridRect r{x1, y1, x2, y2};
+          EXPECT_NEAR(prob.region_probability_exact(s, r),
+                      prob.region_probability_oracle(s, r), 1e-10)
+              << "region " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RegionSweep, MatchesPaperFormulaAwayFromSinkPin) {
+  const auto [g1, g2, type2] = GetParam();
+  if (g1 == 1 || g2 == 1) GTEST_SKIP() << "degenerate";
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{g1, g2, type2};
+  // The "sink" in exit-edge terms: type I (g1-1, g2-1), type II (g1-1, 0).
+  const int sink_y = type2 ? 0 : g2 - 1;
+  for (int x1 = 0; x1 < g1; ++x1) {
+    for (int x2 = x1; x2 < g1; ++x2) {
+      for (int y1 = 0; y1 < g2; ++y1) {
+        for (int y2 = y1; y2 < g2; ++y2) {
+          const GridRect r{x1, y1, x2, y2};
+          if (r.contains(g1 - 1, sink_y)) continue;
+          EXPECT_NEAR(prob.region_probability_exact(s, r),
+                      paper_region_probability(g1, g2, type2, r), 1e-10)
+              << "region " << r;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RegionSweep,
+    ::testing::Combine(::testing::Values(2, 3, 6, 9),
+                       ::testing::Values(2, 5, 8), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, bool>>& info) {
+      return "g1_" + std::to_string(std::get<0>(info.param)) + "_g2_" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_type2" : "_type1");
+    });
+
+TEST(Formula3, WholeRangeIsCertain) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  for (const bool type2 : {false, true}) {
+    const NetGridShape s{7, 4, type2};
+    EXPECT_NEAR(prob.region_probability_exact(s, GridRect{0, 0, 6, 3}), 1.0,
+                1e-12);
+  }
+}
+
+TEST(Formula3, PinCoveringRegionsAreCertain) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape t1{8, 6, false};
+  EXPECT_NEAR(prob.region_probability_exact(t1, GridRect{0, 0, 2, 1}), 1.0,
+              1e-12);
+  EXPECT_NEAR(prob.region_probability_exact(t1, GridRect{6, 4, 7, 5}), 1.0,
+              1e-12);
+  const NetGridShape t2{8, 6, true};
+  EXPECT_NEAR(prob.region_probability_exact(t2, GridRect{0, 4, 1, 5}), 1.0,
+              1e-12);
+  EXPECT_NEAR(prob.region_probability_exact(t2, GridRect{6, 0, 7, 2}), 1.0,
+              1e-12);
+}
+
+TEST(Formula3, FullWidthOrHeightStripesAreCertain) {
+  // A stripe spanning the full width (or height) of the routing range is
+  // crossed by every monotone route.
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{9, 7, false};
+  EXPECT_NEAR(prob.region_probability_exact(s, GridRect{0, 3, 8, 4}), 1.0,
+              1e-12);
+  EXPECT_NEAR(prob.region_probability_exact(s, GridRect{4, 0, 5, 6}), 1.0,
+              1e-12);
+}
+
+TEST(Formula3, DisjointRegionIsZero) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{5, 5, false};
+  EXPECT_EQ(prob.region_probability_exact(s, GridRect{7, 7, 9, 9}), 0.0);
+  EXPECT_EQ(prob.region_probability_exact(s, GridRect{-4, -4, -1, -1}), 0.0);
+}
+
+TEST(Formula3, ClipsOverhangingRegions) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{6, 6, false};
+  // Same effective region as Figure 6 after clipping.
+  EXPECT_NEAR(prob.region_probability_exact(s, GridRect{1, 1, 3, 4}),
+              prob.region_probability_exact(s, GridRect{1, 1, 3, 4}), 0.0);
+  const double clipped =
+      prob.region_probability_exact(s, GridRect{-3, 1, 3, 4});
+  EXPECT_NEAR(clipped, prob.region_probability_exact(s, GridRect{0, 1, 3, 4}),
+              1e-12);
+}
+
+TEST(Formula3, MonotoneInRegionGrowth) {
+  // Growing a region can only increase the crossing probability.
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{10, 8, false};
+  double prev = prob.region_probability_exact(s, GridRect{4, 3, 4, 3});
+  for (int grow = 1; grow <= 3; ++grow) {
+    const GridRect r{4 - grow, 3 - grow, 4 + grow, 3 + grow};
+    const double p = prob.region_probability_exact(s, r);
+    EXPECT_GE(p + 1e-12, prev);
+    prev = p;
+  }
+}
+
+TEST(Formula3, SinglePointRegionMatchesFormula2) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  for (const bool type2 : {false, true}) {
+    const NetGridShape s{7, 6, type2};
+    for (int y = 0; y < 6; ++y) {
+      for (int x = 0; x < 7; ++x) {
+        EXPECT_NEAR(prob.region_probability_exact(s, GridRect{x, y, x, y}),
+                    prob.cell_probability(s, x, y), 1e-10)
+            << x << ',' << y << " type2=" << type2;
+      }
+    }
+  }
+}
+
+TEST(Formula3, DegenerateNetsAlwaysCross) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape row{6, 1, false};
+  EXPECT_EQ(prob.region_probability_exact(row, GridRect{2, 0, 3, 0}), 1.0);
+  const NetGridShape point{1, 1, false};
+  EXPECT_EQ(prob.region_probability_exact(point, GridRect{0, 0, 0, 0}), 1.0);
+  EXPECT_EQ(prob.region_probability_exact(point, GridRect{1, 1, 2, 2}), 0.0);
+}
+
+TEST(Formula3, RegionCoversPinDetection) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape t1{6, 6, false};
+  EXPECT_TRUE(prob.region_covers_pin(t1, GridRect{0, 0, 1, 1}));
+  EXPECT_TRUE(prob.region_covers_pin(t1, GridRect{5, 5, 5, 5}));
+  EXPECT_FALSE(prob.region_covers_pin(t1, GridRect{1, 1, 4, 4}));
+  const NetGridShape t2{6, 6, true};
+  EXPECT_TRUE(prob.region_covers_pin(t2, GridRect{0, 5, 0, 5}));
+  EXPECT_TRUE(prob.region_covers_pin(t2, GridRect{4, 0, 5, 1}));
+  EXPECT_FALSE(prob.region_covers_pin(t2, GridRect{1, 1, 4, 4}));
+}
+
+TEST(Formula3, LargeRangeStaysFinite) {
+  // mm-scale net on a 10 um judging grid: binomials near C(1000, 500).
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{500, 500, false};
+  const double p = prob.region_probability_exact(s, GridRect{200, 200, 320, 340});
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  // The central band catches most routes.
+  EXPECT_GT(p, 0.9);
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,105 @@
+// Uniform grid geometry and net span classification (Figure 1 semantics).
+#include <gtest/gtest.h>
+
+#include "congestion/grid_spec.hpp"
+
+namespace ficon {
+namespace {
+
+TEST(GridSpec, FromPitchCoversChip) {
+  const GridSpec g = GridSpec::from_pitch(Rect{0, 0, 95, 52}, 10, 10);
+  EXPECT_EQ(g.nx(), 10);  // ceil(95/10)
+  EXPECT_EQ(g.ny(), 6);   // ceil(52/10)
+  EXPECT_EQ(g.cell_count(), 60);
+  EXPECT_DOUBLE_EQ(g.pitch_x(), 10.0);
+}
+
+TEST(GridSpec, FromCountsDerivesPitch) {
+  const GridSpec g = GridSpec::from_counts(Rect{0, 0, 120, 60}, 4, 6);
+  EXPECT_DOUBLE_EQ(g.pitch_x(), 30.0);
+  EXPECT_DOUBLE_EQ(g.pitch_y(), 10.0);
+  EXPECT_EQ(g.cell_rect(0, 0), (Rect{0, 0, 30, 10}));
+  EXPECT_EQ(g.cell_rect(3, 5), (Rect{90, 50, 120, 60}));
+  EXPECT_THROW(g.cell_rect(4, 0), std::invalid_argument);
+}
+
+TEST(GridSpec, ExactPitchDivision) {
+  // A 100-unit chip at pitch 10 must give exactly 10 cells, not 11
+  // (guards the ceil-with-epsilon rounding).
+  const GridSpec g = GridSpec::from_pitch(Rect{0, 0, 100, 100}, 10, 10);
+  EXPECT_EQ(g.nx(), 10);
+  EXPECT_EQ(g.ny(), 10);
+}
+
+TEST(GridSpec, CellLookupClampsToChip) {
+  const GridSpec g = GridSpec::from_pitch(Rect{0, 0, 100, 100}, 10, 10);
+  EXPECT_EQ(g.cell_x(-5.0), 0);
+  EXPECT_EQ(g.cell_x(0.0), 0);
+  EXPECT_EQ(g.cell_x(9.999), 0);
+  EXPECT_EQ(g.cell_x(10.0), 1);
+  EXPECT_EQ(g.cell_x(99.9), 9);
+  EXPECT_EQ(g.cell_x(100.0), 9);  // chip edge belongs to last cell
+  EXPECT_EQ(g.cell_x(250.0), 9);
+}
+
+TEST(GridSpec, RejectsBadArguments) {
+  EXPECT_THROW(GridSpec::from_pitch(Rect{0, 0, 0, 10}, 10, 10),
+               std::invalid_argument);
+  EXPECT_THROW(GridSpec::from_pitch(Rect{0, 0, 10, 10}, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(GridSpec::from_counts(Rect{0, 0, 10, 10}, 0, 3),
+               std::invalid_argument);
+}
+
+TEST(SpanNet, TypeOneWhenLeftPinIsLower) {
+  const GridSpec g = GridSpec::from_pitch(Rect{0, 0, 100, 100}, 10, 10);
+  const TwoPinNet net{Point{5, 5}, Point{75, 45}, 0};
+  const SpannedNet s = span_net(g, net);
+  EXPECT_EQ(s.origin, (GridPoint{0, 0}));
+  EXPECT_EQ(s.shape.g1, 8);
+  EXPECT_EQ(s.shape.g2, 5);
+  EXPECT_FALSE(s.shape.type2);
+}
+
+TEST(SpanNet, TypeTwoWhenLeftPinIsUpper) {
+  const GridSpec g = GridSpec::from_pitch(Rect{0, 0, 100, 100}, 10, 10);
+  const TwoPinNet net{Point{5, 45}, Point{75, 5}, 0};
+  const SpannedNet s = span_net(g, net);
+  EXPECT_EQ(s.origin, (GridPoint{0, 0}));
+  EXPECT_TRUE(s.shape.type2);
+  // Pin order in the struct must not matter.
+  const SpannedNet swapped = span_net(g, TwoPinNet{net.b, net.a, 0});
+  EXPECT_EQ(swapped.shape, s.shape);
+  EXPECT_EQ(swapped.origin, s.origin);
+}
+
+TEST(SpanNet, DegenerateShapes) {
+  const GridSpec g = GridSpec::from_pitch(Rect{0, 0, 100, 100}, 10, 10);
+  // Same cell -> 1x1 point.
+  const SpannedNet point = span_net(g, TwoPinNet{Point{12, 13}, Point{17, 18}, 0});
+  EXPECT_TRUE(point.shape.degenerate());
+  EXPECT_EQ(point.shape.g1, 1);
+  EXPECT_EQ(point.shape.g2, 1);
+  // Same row -> horizontal line; type flag must be false (irrelevant).
+  const SpannedNet row = span_net(g, TwoPinNet{Point{5, 33}, Point{95, 38}, 0});
+  EXPECT_TRUE(row.shape.degenerate());
+  EXPECT_EQ(row.shape.g2, 1);
+  EXPECT_FALSE(row.shape.type2);
+  // Same column -> vertical line.
+  const SpannedNet col = span_net(g, TwoPinNet{Point{41, 5}, Point{44, 95}, 0});
+  EXPECT_EQ(col.shape.g1, 1);
+  EXPECT_EQ(col.shape.g2, 10);
+}
+
+TEST(SpanNet, PinsOnCellBoundary) {
+  const GridSpec g = GridSpec::from_pitch(Rect{0, 0, 100, 100}, 10, 10);
+  // A pin exactly on a cell boundary goes to the upper cell (floor rule),
+  // except at the chip edge where it clamps inward.
+  const SpannedNet s = span_net(g, TwoPinNet{Point{20, 0}, Point{100, 100}, 0});
+  EXPECT_EQ(s.origin, (GridPoint{2, 0}));
+  EXPECT_EQ(s.shape.g1, 8);   // cells 2..9
+  EXPECT_EQ(s.shape.g2, 10);  // cells 0..9
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,161 @@
+// End-to-end integration tests: miniature versions of the paper's three
+// experiments plus full-pipeline smoke checks, so the bench harness's
+// plumbing is covered by ctest.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mcnc.hpp"
+#include "circuit/parser.hpp"
+#include "congestion/fixed_grid.hpp"
+#include "congestion/irregular_grid.hpp"
+#include "core/floorplanner.hpp"
+#include "exp/experiment.hpp"
+#include "route/two_pin.hpp"
+#include "router/global_router.hpp"
+#include "util/stats.hpp"
+
+namespace ficon {
+namespace {
+
+FloorplanOptions mini_options() {
+  FloorplanOptions o;
+  o.effort = 0.15;
+  o.anneal.cooling = 0.8;
+  o.anneal.stop_temperature_ratio = 1e-3;
+  o.anneal.max_stall_temperatures = 4;
+  return o;
+}
+
+TEST(Integration, ExperimentOnePipeline) {
+  // Two floorplanners, judged by the referee — Table 1/2/3 plumbing.
+  const Netlist netlist = make_mcnc("hp");
+  const FixedGridModel judge = make_judging_model(25.0);
+
+  const SeedSweep base = run_seed_sweep(netlist, mini_options(), 2, judge);
+  FloorplanOptions driven = mini_options();
+  driven.objective.gamma = 0.4;
+  driven.objective.model = CongestionModelKind::kIrregularGrid;
+  const SeedSweep cgt = run_seed_sweep(netlist, driven, 2, judge);
+
+  ASSERT_EQ(base.runs.size(), 2u);
+  ASSERT_EQ(cgt.runs.size(), 2u);
+  EXPECT_GT(base.mean_judging(), 0.0);
+  EXPECT_GT(cgt.mean_judging(), 0.0);
+  EXPECT_GT(cgt.mean_congestion(), 0.0);
+  // No quality assertion here (2 seeds of a tiny anneal are noise); the
+  // statistical claim is covered by floorplanner_test and the benches.
+}
+
+TEST(Integration, ExperimentTwoPipeline) {
+  // Snapshot trajectory scored by two judges — Figure 9 plumbing.
+  const Netlist netlist = make_mcnc("hp");
+  FloorplanOptions o = mini_options();
+  o.objective.alpha = 0.0;
+  o.objective.beta = 0.0;
+  o.objective.gamma = 1.0;
+  o.objective.model = CongestionModelKind::kIrregularGrid;
+  const FixedGridModel fine = make_judging_model(25.0);
+  const FixedGridModel coarse = make_judging_model(100.0);
+  std::vector<double> a, b, c;
+  Floorplanner(netlist, o).run([&](const TemperatureSnapshot& snap) {
+    const auto nets = decompose_to_two_pin(netlist, snap.placement);
+    a.push_back(snap.metrics.congestion);
+    b.push_back(fine.cost(nets, snap.placement.chip));
+    c.push_back(coarse.cost(nets, snap.placement.chip));
+  });
+  ASSERT_GE(a.size(), 3u);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (const double v : a) EXPECT_GE(v, 0.0);
+}
+
+TEST(Integration, ExperimentThreePipeline) {
+  // Congestion-only optimization under both models — Table 4/5 plumbing.
+  const Netlist netlist = make_mcnc("hp");
+  const FixedGridModel judge = make_judging_model(25.0);
+  for (const CongestionModelKind kind :
+       {CongestionModelKind::kIrregularGrid, CongestionModelKind::kFixedGrid}) {
+    FloorplanOptions o = mini_options();
+    o.objective.alpha = 0.0;
+    o.objective.beta = 0.0;
+    o.objective.gamma = 1.0;
+    o.objective.model = kind;
+    const SeedSweep sweep = run_seed_sweep(netlist, o, 2, judge);
+    EXPECT_GT(sweep.mean_congestion(), 0.0);
+    EXPECT_GT(sweep.mean_judging(), 0.0);
+  }
+}
+
+TEST(Integration, FileRoundTripThroughFloorplanner) {
+  // Save a generated circuit, reload it, floorplan the reload: identical
+  // netlist semantics must give an identical deterministic result.
+  const Netlist original = make_mcnc("hp");
+  std::stringstream buffer;
+  save_netlist(original, buffer);
+  const Netlist reloaded = parse_netlist(buffer);
+  FloorplanOptions o = mini_options();
+  o.seed = 11;
+  const FloorplanSolution a = Floorplanner(original, o).run();
+  const FloorplanSolution b = Floorplanner(reloaded, o).run();
+  EXPECT_EQ(a.representation, b.representation);
+  EXPECT_DOUBLE_EQ(a.metrics.area, b.metrics.area);
+  EXPECT_DOUBLE_EQ(a.metrics.wirelength, b.metrics.wirelength);
+}
+
+TEST(Integration, FullStackRouteOfOptimizedFloorplan) {
+  // Floorplan -> decompose -> estimate -> route: every subsystem touched.
+  const Netlist netlist = make_mcnc("ami33");
+  FloorplanOptions o = mini_options();
+  o.objective.gamma = 0.4;
+  o.objective.model = CongestionModelKind::kIrregularGrid;
+  const FloorplanSolution sol = Floorplanner(netlist, o).run();
+  const auto nets = decompose_to_two_pin(netlist, sol.placement);
+
+  IrregularGridParams ir;
+  const double ir_cost =
+      IrregularGridModel(ir).cost(nets, sol.placement.chip);
+  EXPECT_GT(ir_cost, 0.0);
+
+  RouterParams rp;
+  rp.pitch = 30.0;
+  const RoutedCongestion routed =
+      GlobalRouter(rp).route(nets, sol.placement.chip);
+  EXPECT_GT(routed.max_usage(), 0.0);
+  // Total routed usage equals the sum of per-net span path lengths — the
+  // conservation law ties router and estimator to the same geometry.
+  const GridSpec grid =
+      GridSpec::from_pitch(sol.placement.chip, rp.pitch, rp.pitch);
+  double expected = 0.0;
+  for (const TwoPinNet& net : nets) {
+    const SpannedNet s = span_net(grid, net);
+    expected += s.shape.g1 + s.shape.g2 - 1;
+  }
+  double total = 0.0;
+  for (const double u : routed.usage()) total += u;
+  EXPECT_DOUBLE_EQ(total, expected);
+}
+
+TEST(Integration, TerminalsShapeCongestionAtBoundary) {
+  // Pads pull nets to the chip edge: a circuit with pads must register
+  // non-zero congestion in the outermost ring of judging cells.
+  const Netlist netlist = make_mcnc("apte");  // 73 pads
+  ASSERT_GT(netlist.terminal_count(), 0u);
+  const FloorplanSolution sol =
+      Floorplanner(netlist, mini_options()).run();
+  const auto nets = decompose_to_two_pin(netlist, sol.placement);
+  const FixedGridModel judge = make_judging_model(100.0);
+  const CongestionMap map = judge.evaluate(nets, sol.placement.chip);
+  double boundary = 0.0;
+  const int nx = map.grid().nx(), ny = map.grid().ny();
+  for (int x = 0; x < nx; ++x) {
+    boundary += map.at(x, 0) + map.at(x, ny - 1);
+  }
+  for (int y = 0; y < ny; ++y) {
+    boundary += map.at(0, y) + map.at(nx - 1, y);
+  }
+  EXPECT_GT(boundary, 0.0);
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,256 @@
+// Irregular-Grid congestion model: end-to-end evaluation semantics.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mcnc.hpp"
+#include "congestion/fixed_grid.hpp"
+#include "congestion/irregular_grid.hpp"
+#include "floorplan/slicing.hpp"
+#include "route/two_pin.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ficon {
+namespace {
+
+const Rect kChip{0, 0, 1000, 1000};
+
+IrregularGridParams fine_params() {
+  IrregularGridParams p;
+  p.grid_w = 10;
+  p.grid_h = 10;
+  return p;
+}
+
+TEST(IrregularGrid, SingleNetDecomposition) {
+  // One net, one routing range: cut lines = range boundaries + chip
+  // boundary -> 3x3 IR-cells, and only the central one (the range itself)
+  // accumulates probability 1... no: the range spans exactly one IR-cell in
+  // each direction between its own cut lines, crossed with probability 1?
+  // The range covers several IR-cells only if other nets cut through it.
+  // With a single net the range is exactly one IR-cell, covering both pins
+  // -> probability 1.
+  const IrregularGridModel model(fine_params());
+  const std::vector<TwoPinNet> nets{{Point{300, 300}, Point{700, 600}, 0}};
+  const IrregularCongestionMap map = model.evaluate(nets, kChip);
+  EXPECT_EQ(map.nx(), 3);
+  EXPECT_EQ(map.ny(), 3);
+  EXPECT_NEAR(map.flow(1, 1), 1.0, 1e-12);  // the routing range
+  EXPECT_EQ(map.flow(0, 0), 0.0);
+  EXPECT_EQ(map.flow(2, 2), 0.0);
+  EXPECT_NEAR(map.density(1, 1), 1.0 / (400.0 * 300.0), 1e-15);
+}
+
+TEST(IrregularGrid, TwoOverlappingNetsSubdivide) {
+  // Two crossing routing ranges: each range is divided by the other's cut
+  // lines; flows must stay within [0, 1] per net per cell and the overlap
+  // cell must see contributions from both nets.
+  const IrregularGridModel model(fine_params());
+  const std::vector<TwoPinNet> nets{
+      {Point{100, 400}, Point{900, 500}, 0},   // wide horizontal band
+      {Point{450, 100}, Point{550, 900}, 1},   // tall vertical band
+  };
+  const IrregularCongestionMap map = model.evaluate(nets, kChip);
+  // Cut lines: x = {0,100,450,550,900,1000}, y = {0,100,400,500,900,1000}.
+  EXPECT_EQ(map.nx(), 5);
+  EXPECT_EQ(map.ny(), 5);
+  // The crossing cell [450..550] x [400..500] is covered by both nets:
+  // band nets pass through their full cross-section with probability 1.
+  EXPECT_NEAR(map.flow(2, 2), 2.0, 1e-9);
+  // A cell on the horizontal band only.
+  EXPECT_NEAR(map.flow(1, 2), 1.0, 1e-9);
+  // A corner cell touched by neither.
+  EXPECT_EQ(map.flow(0, 0), 0.0);
+}
+
+TEST(IrregularGrid, FlowBoundedByNetCount) {
+  Rng rng(51);
+  std::vector<TwoPinNet> nets;
+  for (int i = 0; i < 40; ++i) {
+    nets.push_back(TwoPinNet{Point{rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                             Point{rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                             i});
+  }
+  const IrregularGridModel model;
+  const IrregularCongestionMap map = model.evaluate(nets, kChip);
+  for (int iy = 0; iy < map.ny(); ++iy) {
+    for (int ix = 0; ix < map.nx(); ++ix) {
+      EXPECT_GE(map.flow(ix, iy), 0.0);
+      EXPECT_LE(map.flow(ix, iy), static_cast<double>(nets.size()) + 1e-9);
+    }
+  }
+}
+
+TEST(IrregularGrid, ExactAndApproximateModesAgree) {
+  Rng rng(52);
+  std::vector<TwoPinNet> nets;
+  for (int i = 0; i < 25; ++i) {
+    nets.push_back(TwoPinNet{Point{rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                             Point{rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                             i});
+  }
+  IrregularGridParams approx_params = fine_params();
+  approx_params.strategy = IrEvalStrategy::kTheorem1;
+  IrregularGridParams exact_params = fine_params();
+  exact_params.strategy = IrEvalStrategy::kExactPerRegion;
+  const IrregularGridModel approx_model(approx_params);
+  const IrregularGridModel exact_model(exact_params);
+  const IrregularCongestionMap a = approx_model.evaluate(nets, kChip);
+  const IrregularCongestionMap e = exact_model.evaluate(nets, kChip);
+  ASSERT_EQ(a.nx(), e.nx());
+  ASSERT_EQ(a.ny(), e.ny());
+  for (int iy = 0; iy < a.ny(); ++iy) {
+    for (int ix = 0; ix < a.nx(); ++ix) {
+      // Pin-covering cells differ by design (1 vs the exact 1 — identical),
+      // interior cells only by the Theorem 1 error.
+      EXPECT_NEAR(a.flow(ix, iy), e.flow(ix, iy), 0.12)
+          << "cell " << ix << ',' << iy;
+    }
+  }
+  EXPECT_NEAR(a.top_fraction_cost(0.10), e.top_fraction_cost(0.10),
+              0.10 * std::max(1e-9, e.top_fraction_cost(0.10)) + 1e-7);
+}
+
+TEST(IrregularGrid, BandedMatchesPerRegionExactly) {
+  // The banded prefix-sum fast path must reproduce the per-region exact
+  // evaluation to floating-point accuracy on every IR-cell, across random
+  // workloads containing both net types and degenerate nets.
+  Rng rng(56);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<TwoPinNet> nets;
+    for (int i = 0; i < 30; ++i) {
+      Point a{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+      Point b{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+      if (i % 7 == 0) b.x = a.x;  // sprinkle degenerate nets
+      if (i % 11 == 0) b.y = a.y;
+      nets.push_back(TwoPinNet{a, b, i});
+    }
+    IrregularGridParams banded_params = fine_params();
+    banded_params.strategy = IrEvalStrategy::kBandedExact;
+    IrregularGridParams exact_params = fine_params();
+    exact_params.strategy = IrEvalStrategy::kExactPerRegion;
+    const auto banded = IrregularGridModel(banded_params).evaluate(nets, kChip);
+    const auto exact = IrregularGridModel(exact_params).evaluate(nets, kChip);
+    ASSERT_EQ(banded.nx(), exact.nx());
+    ASSERT_EQ(banded.ny(), exact.ny());
+    for (int iy = 0; iy < banded.ny(); ++iy) {
+      for (int ix = 0; ix < banded.nx(); ++ix) {
+        ASSERT_NEAR(banded.flow(ix, iy), exact.flow(ix, iy), 1e-9)
+            << "trial " << trial << " cell " << ix << ',' << iy;
+      }
+    }
+  }
+}
+
+TEST(IrregularGrid, DegenerateNetsHandled) {
+  const IrregularGridModel model(fine_params());
+  const std::vector<TwoPinNet> nets{
+      {Point{500, 500}, Point{500, 500}, 0},  // point
+      {Point{100, 200}, Point{900, 200}, 1},  // horizontal segment
+      {Point{300, 100}, Point{300, 900}, 2},  // vertical segment
+  };
+  const IrregularCongestionMap map = model.evaluate(nets, kChip);
+  double total = 0.0;
+  for (int iy = 0; iy < map.ny(); ++iy) {
+    for (int ix = 0; ix < map.nx(); ++ix) total += map.flow(ix, iy);
+  }
+  EXPECT_GT(total, 0.0);  // all three degenerate nets registered somewhere
+}
+
+TEST(IrregularGrid, CostWeightsDensityByArea) {
+  // Construct a map by hand: a tiny hot cell and a large cold cell. With
+  // fraction 10% of a 1000x1000 chip (=100000 um^2), the hot cell (10000
+  // um^2) is fully taken and the remainder comes from the next densest.
+  IrregularCongestionMap map(CutLines({0, 100, 1000}, {0, 100, 1000}));
+  map.add_flow(0, 0, 5.0);    // 100x100 cell, density 5e-4
+  map.add_flow(1, 1, 10.0);   // 900x900 cell, density ~1.23e-5
+  const double cost = map.top_fraction_cost(0.10);
+  const double hot_density = 5.0 / (100.0 * 100.0);
+  const double cold_density = 10.0 / (900.0 * 900.0);
+  const double budget = 0.10 * 1000 * 1000;
+  const double expected =
+      (hot_density * 10000.0 + cold_density * (budget - 10000.0)) / budget;
+  EXPECT_NEAR(cost, expected, 1e-15);
+}
+
+TEST(IrregularGrid, CostMonotonicInExtraNets) {
+  Rng rng(53);
+  std::vector<TwoPinNet> nets;
+  for (int i = 0; i < 20; ++i) {
+    nets.push_back(TwoPinNet{Point{rng.uniform(400, 600), rng.uniform(400, 600)},
+                             Point{rng.uniform(400, 600), rng.uniform(400, 600)},
+                             i});
+  }
+  const IrregularGridModel model;
+  const double base = model.cost(nets, kChip);
+  // Duplicate the hottest region's nets: cost must not decrease.
+  std::vector<TwoPinNet> more = nets;
+  more.insert(more.end(), nets.begin(), nets.end());
+  EXPECT_GE(model.cost(more, kChip) + 1e-12, base);
+}
+
+TEST(IrregularGrid, TracksJudgingModelAcrossPlacements) {
+  // The headline claim of Experiment 2: the IR-grid estimate moves with the
+  // fine fixed-grid judging estimate. Compare rankings over random
+  // placements of ami33.
+  const Netlist netlist = make_mcnc("ami33");
+  const SlicingPacker packer(netlist);
+  Rng rng(54);
+  PolishExpression expr =
+      PolishExpression::initial(static_cast<int>(netlist.module_count()));
+  IrregularGridParams params;
+  params.grid_w = 30;
+  params.grid_h = 30;
+  const IrregularGridModel ir(params);
+  const FixedGridModel judge = make_judging_model(10.0);
+  std::vector<double> ir_costs, judge_costs;
+  for (int i = 0; i < 12; ++i) {
+    for (int k = 0; k < 30; ++k) expr.random_move(rng);
+    const SlicingResult packed = packer.pack(expr);
+    const auto nets = decompose_to_two_pin(netlist, packed.placement);
+    ir_costs.push_back(ir.cost(nets, packed.placement.chip));
+    judge_costs.push_back(judge.cost(nets, packed.placement.chip));
+  }
+  EXPECT_GT(pearson(ir_costs, judge_costs), 0.4);
+}
+
+TEST(IrregularGrid, CsvOutput) {
+  const IrregularGridModel model(fine_params());
+  const std::vector<TwoPinNet> nets{{Point{300, 300}, Point{700, 600}, 0}};
+  const IrregularCongestionMap map = model.evaluate(nets, kChip);
+  std::ostringstream csv;
+  map.write_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("xlo,ylo,xhi,yhi,flow,density"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1 + map.cell_count());
+}
+
+TEST(IrregularGrid, MergeFactorReducesCellCount) {
+  Rng rng(55);
+  std::vector<TwoPinNet> nets;
+  for (int i = 0; i < 30; ++i) {
+    nets.push_back(TwoPinNet{Point{rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                             Point{rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                             i});
+  }
+  IrregularGridParams loose = fine_params();
+  loose.merge_factor = 8.0;
+  IrregularGridParams tight = fine_params();
+  tight.merge_factor = 0.5;
+  const auto coarse = IrregularGridModel(loose).evaluate(nets, kChip);
+  const auto fine = IrregularGridModel(tight).evaluate(nets, kChip);
+  EXPECT_LT(coarse.cell_count(), fine.cell_count());
+}
+
+TEST(IrregularGrid, RejectsBadParams) {
+  IrregularGridParams p;
+  p.grid_w = 0;
+  EXPECT_THROW(IrregularGridModel{p}, std::invalid_argument);
+  IrregularGridParams q;
+  q.merge_factor = -1;
+  EXPECT_THROW(IrregularGridModel{q}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ficon

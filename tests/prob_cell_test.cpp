@@ -1,0 +1,180 @@
+// Formula 1 / Formula 2 validation: per-cell crossing probabilities.
+//
+// Strategy: the library computes everything in a canonical type I frame
+// (type II via y-mirror, log-space binomials). The tests pin it against
+//  (a) an independent, literal transcription of the paper's type I *and*
+//      type II formulas using plain double binomials, and
+//  (b) the brute-force DP oracle,
+// plus structural invariants (anti-diagonal sums, symmetry, boundary
+// behaviour).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "congestion/path_prob.hpp"
+#include "numeric/factorial.hpp"
+
+namespace ficon {
+namespace {
+
+/// Paper Formula 2, transcribed literally (both net types).
+double paper_cell_probability(int g1, int g2, bool type2, int x, int y) {
+  if (x < 0 || x >= g1 || y < 0 || y >= g2) return 0.0;
+  const double total = choose_double(g1 + g2 - 2, g2 - 1);
+  if (!type2) {
+    const double ta = choose_double(x + y, y);
+    const double tb =
+        choose_double(g1 + g2 - 2 - (x + y), g2 - 1 - y);
+    return ta * tb / total;
+  }
+  const double ta = choose_double(x + (g2 - 1 - y), x);
+  const double tb = choose_double((g1 - 1 - x) + y, g1 - 1 - x);
+  return ta * tb / total;
+}
+
+class CellProbSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(CellProbSweep, MatchesPaperFormula) {
+  const auto [g1, g2, type2] = GetParam();
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{g1, g2, type2};
+  for (int y = 0; y < g2; ++y) {
+    for (int x = 0; x < g1; ++x) {
+      const double expected = paper_cell_probability(g1, g2, type2, x, y);
+      EXPECT_NEAR(prob.cell_probability(s, x, y), expected, 1e-10)
+          << "g=(" << g1 << ',' << g2 << ") type2=" << type2 << " cell=("
+          << x << ',' << y << ')';
+    }
+  }
+}
+
+TEST_P(CellProbSweep, MatchesOracle) {
+  const auto [g1, g2, type2] = GetParam();
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{g1, g2, type2};
+  for (int y = 0; y < g2; ++y) {
+    for (int x = 0; x < g1; ++x) {
+      EXPECT_NEAR(prob.cell_probability(s, x, y),
+                  prob.cell_probability_oracle(s, x, y), 1e-10)
+          << "cell=(" << x << ',' << y << ')';
+    }
+  }
+}
+
+TEST_P(CellProbSweep, AntiDiagonalSumsToOne) {
+  // Every monotone route crosses each anti-diagonal (type I) / diagonal
+  // (type II) of the routing range exactly once, so the probabilities on it
+  // sum to 1. This is the strongest conservation property of Formula 2.
+  const auto [g1, g2, type2] = GetParam();
+  if (g1 == 1 || g2 == 1) GTEST_SKIP() << "degenerate range";
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{g1, g2, type2};
+  for (int d = 0; d <= g1 + g2 - 2; ++d) {
+    double sum = 0.0;
+    for (int x = 0; x < g1; ++x) {
+      const int y = type2 ? (g2 - 1) - (d - x) : d - x;
+      if (y >= 0 && y < g2) sum += prob.cell_probability(s, x, y);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "diagonal " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CellProbSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 13),
+                       ::testing::Values(2, 4, 7, 11),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, bool>>& info) {
+      return "g1_" + std::to_string(std::get<0>(info.param)) + "_g2_" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_type2" : "_type1");
+    });
+
+TEST(CellProb, PinCellsAlwaysProbabilityOne) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  for (int g1 = 2; g1 <= 9; ++g1) {
+    for (int g2 = 2; g2 <= 9; ++g2) {
+      const NetGridShape t1{g1, g2, false};
+      EXPECT_NEAR(prob.cell_probability(t1, 0, 0), 1.0, 1e-12);
+      EXPECT_NEAR(prob.cell_probability(t1, g1 - 1, g2 - 1), 1.0, 1e-12);
+      const NetGridShape t2{g1, g2, true};
+      EXPECT_NEAR(prob.cell_probability(t2, 0, g2 - 1), 1.0, 1e-12);
+      EXPECT_NEAR(prob.cell_probability(t2, g1 - 1, 0), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(CellProb, OutsideRangeIsZero) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{4, 5, false};
+  EXPECT_EQ(prob.cell_probability(s, -1, 0), 0.0);
+  EXPECT_EQ(prob.cell_probability(s, 0, -1), 0.0);
+  EXPECT_EQ(prob.cell_probability(s, 4, 0), 0.0);
+  EXPECT_EQ(prob.cell_probability(s, 0, 5), 0.0);
+}
+
+TEST(CellProb, DegenerateRangesAreCertain) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape point{1, 1, false};
+  EXPECT_EQ(prob.cell_probability(point, 0, 0), 1.0);
+  const NetGridShape row{6, 1, false};
+  for (int x = 0; x < 6; ++x) {
+    EXPECT_EQ(prob.cell_probability(row, x, 0), 1.0);
+  }
+  const NetGridShape column{1, 4, false};
+  for (int y = 0; y < 4; ++y) {
+    EXPECT_EQ(prob.cell_probability(column, 0, y), 1.0);
+  }
+}
+
+TEST(CellProb, TypeTwoIsMirrorOfTypeOne) {
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape t1{7, 5, false};
+  const NetGridShape t2{7, 5, true};
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 7; ++x) {
+      EXPECT_NEAR(prob.cell_probability(t2, x, y),
+                  prob.cell_probability(t1, x, 4 - y), 1e-12);
+    }
+  }
+}
+
+TEST(CellProb, CentreOfSquareRangeMatchesClosedForm) {
+  // For a (2k+1)^2 type I range the central cell's probability is
+  // C(2k,k)^2 / C(4k,2k) (both half-paths hit the centre of the diagonal).
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  for (int k = 1; k <= 6; ++k) {
+    const int g = 2 * k + 1;
+    const NetGridShape s{g, g, false};
+    const double expected = choose_double(2 * k, k) * choose_double(2 * k, k) /
+                            choose_double(4 * k, 2 * k);
+    EXPECT_NEAR(prob.cell_probability(s, k, k), expected, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(CellProb, Figure2StyleCounts) {
+  // Ta/Tb of Definition 1 on a 4x3 type I range: spot-check the route
+  // counts the paper tabulates in Figure 2.
+  LogFactorialTable table;
+  const PathProbability prob(table);
+  const NetGridShape s{4, 3, false};
+  EXPECT_NEAR(std::exp(*prob.log_ta(s, 0, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(*prob.log_ta(s, 1, 1)), 2.0, 1e-12);
+  EXPECT_NEAR(std::exp(*prob.log_ta(s, 3, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(*prob.log_tb(s, 0, 0)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(*prob.log_tb(s, 3, 2)), 1.0, 1e-12);
+  EXPECT_FALSE(prob.log_ta(s, 4, 0).has_value());
+  EXPECT_FALSE(prob.log_tb(s, 0, 3).has_value());
+}
+
+}  // namespace
+}  // namespace ficon

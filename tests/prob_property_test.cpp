@@ -1,0 +1,164 @@
+// Randomized property tests on the probability engine — invariants that
+// must hold for ALL regions and range shapes, checked over random draws.
+#include <gtest/gtest.h>
+
+#include "congestion/approx.hpp"
+#include "congestion/path_prob.hpp"
+#include "util/rng.hpp"
+
+namespace ficon {
+namespace {
+
+class ProbProperties : public ::testing::Test {
+ protected:
+  GridRect random_region(int g1, int g2) {
+    const int x1 = rng_.uniform_int(0, g1 - 1);
+    const int x2 = rng_.uniform_int(x1, g1 - 1);
+    const int y1 = rng_.uniform_int(0, g2 - 1);
+    const int y2 = rng_.uniform_int(y1, g2 - 1);
+    return GridRect{x1, y1, x2, y2};
+  }
+
+  NetGridShape random_shape() {
+    return NetGridShape{rng_.uniform_int(2, 24), rng_.uniform_int(2, 24),
+                        rng_.chance(0.5)};
+  }
+
+  Rng rng_{2024};
+  LogFactorialTable table_;
+  PathProbability prob_{table_};
+};
+
+TEST_F(ProbProperties, ReversalSymmetry) {
+  // Reversing every path (walking sink -> source) is a bijection, so a
+  // region and its 180-degree rotation have equal crossing probability.
+  for (int trial = 0; trial < 300; ++trial) {
+    const NetGridShape s = random_shape();
+    const GridRect r = random_region(s.g1, s.g2);
+    const GridRect rotated{s.g1 - 1 - r.xhi, s.g2 - 1 - r.yhi,
+                           s.g1 - 1 - r.xlo, s.g2 - 1 - r.ylo};
+    EXPECT_NEAR(prob_.region_probability_exact(s, r),
+                prob_.region_probability_exact(s, rotated), 1e-10)
+        << "g=(" << s.g1 << ',' << s.g2 << ") region " << r;
+  }
+}
+
+TEST_F(ProbProperties, TypeMirrorConsistency) {
+  // A type II net is the y-mirror of a type I net: region probabilities
+  // must match under the mirror map.
+  for (int trial = 0; trial < 300; ++trial) {
+    NetGridShape s = random_shape();
+    s.type2 = true;
+    NetGridShape mirrored = s;
+    mirrored.type2 = false;
+    const GridRect r = random_region(s.g1, s.g2);
+    EXPECT_NEAR(prob_.region_probability_exact(s, r),
+                prob_.region_probability_exact(mirrored,
+                                               mirror_region_y(s.g2, r)),
+                1e-10);
+  }
+}
+
+TEST_F(ProbProperties, MonotoneUnderRegionGrowth) {
+  for (int trial = 0; trial < 300; ++trial) {
+    const NetGridShape s = random_shape();
+    const GridRect r = random_region(s.g1, s.g2);
+    const GridRect grown{std::max(0, r.xlo - 1), std::max(0, r.ylo - 1),
+                         std::min(s.g1 - 1, r.xhi + 1),
+                         std::min(s.g2 - 1, r.yhi + 1)};
+    EXPECT_LE(prob_.region_probability_exact(s, r),
+              prob_.region_probability_exact(s, grown) + 1e-12);
+  }
+}
+
+TEST_F(ProbProperties, UnionBoundOnStripeSplits) {
+  // Splitting a full-height stripe vertically: every path crosses the
+  // stripe, so P(A) + P(B) >= 1; each part alone is <= 1.
+  for (int trial = 0; trial < 200; ++trial) {
+    const NetGridShape s = random_shape();
+    const int x1 = rng_.uniform_int(0, s.g1 - 1);
+    const int x2 = rng_.uniform_int(x1, s.g1 - 1);
+    const int split = rng_.uniform_int(0, s.g2 - 2);
+    const GridRect lower{x1, 0, x2, split};
+    const GridRect upper{x1, split + 1, x2, s.g2 - 1};
+    const GridRect full{x1, 0, x2, s.g2 - 1};
+    const double pl = prob_.region_probability_exact(s, lower);
+    const double pu = prob_.region_probability_exact(s, upper);
+    EXPECT_NEAR(prob_.region_probability_exact(s, full), 1.0, 1e-12);
+    EXPECT_GE(pl + pu + 1e-12, 1.0);
+    EXPECT_LE(pl, 1.0 + 1e-12);
+    EXPECT_LE(pu, 1.0 + 1e-12);
+  }
+}
+
+TEST_F(ProbProperties, CellProbabilitiesBoundRegionProbability) {
+  // max cell P in region <= region P <= sum of cell Ps (union bound).
+  for (int trial = 0; trial < 120; ++trial) {
+    const NetGridShape s = random_shape();
+    const GridRect r = random_region(s.g1, s.g2);
+    double max_cell = 0.0, sum_cells = 0.0;
+    for (int y = r.ylo; y <= r.yhi; ++y) {
+      for (int x = r.xlo; x <= r.xhi; ++x) {
+        const double p = prob_.cell_probability(s, x, y);
+        max_cell = std::max(max_cell, p);
+        sum_cells += p;
+      }
+    }
+    const double region = prob_.region_probability_exact(s, r);
+    EXPECT_GE(region + 1e-10, max_cell);
+    EXPECT_LE(region, sum_cells + 1e-10);
+  }
+}
+
+TEST_F(ProbProperties, OracleAgreesEverywhereRandomized) {
+  for (int trial = 0; trial < 150; ++trial) {
+    const NetGridShape s = random_shape();
+    const GridRect r = random_region(s.g1, s.g2);
+    EXPECT_NEAR(prob_.region_probability_exact(s, r),
+                prob_.region_probability_oracle(s, r), 1e-10)
+        << "g=(" << s.g1 << ',' << s.g2 << ") t2=" << s.type2 << " region "
+        << r;
+  }
+}
+
+TEST_F(ProbProperties, ApproxPolicyBoundedErrorRandomized) {
+  // The Theorem 1 policy inherits the paper's Figure 8(d) weakness: terms
+  // adjacent to a pin are underestimated, and on LARGE regions hugging the
+  // pin-side boundary the underestimate accumulates. So: tight bound for
+  // regions clear of the pin-adjacent frame, loose bound globally. (The
+  // default kBandedExact strategy is exact everywhere; kTheorem1 is the
+  // paper-fidelity mode.)
+  const ApproxRegionProbability approx(prob_);
+  for (int trial = 0; trial < 300; ++trial) {
+    const NetGridShape s{rng_.uniform_int(12, 40), rng_.uniform_int(12, 40),
+                         rng_.chance(0.5)};
+    const GridRect r = random_region(s.g1, s.g2);
+    const double expected = prob_.region_covers_pin(s, r)
+                                ? 1.0
+                                : prob_.region_probability_exact(s, r);
+    const double got = approx.region_probability(s, r);
+    const bool near_pin_frame =
+        r.xlo <= 1 || r.ylo <= 1 || r.xhi >= s.g1 - 2 || r.yhi >= s.g2 - 2;
+    EXPECT_NEAR(got, expected, near_pin_frame ? 0.20 : 0.06)
+        << "g=(" << s.g1 << ',' << s.g2 << ") region " << r
+        << " near_pin_frame=" << near_pin_frame;
+  }
+}
+
+TEST_F(ProbProperties, DiagonalSumsStayOneUnderMirror) {
+  // Conservation must survive the type II mirror for every shape drawn.
+  for (int trial = 0; trial < 60; ++trial) {
+    const NetGridShape s = random_shape();
+    for (int d = 0; d <= s.g1 + s.g2 - 2; d += 3) {
+      double sum = 0.0;
+      for (int x = 0; x < s.g1; ++x) {
+        const int y = s.type2 ? (s.g2 - 1) - (d - x) : d - x;
+        if (y >= 0 && y < s.g2) sum += prob_.cell_probability(s, x, y);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ficon

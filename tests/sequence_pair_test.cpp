@@ -1,0 +1,131 @@
+// Sequence-pair representation and packer tests.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mcnc.hpp"
+#include "floorplan/sequence_pair.hpp"
+#include "floorplan/slicing.hpp"
+#include "util/rng.hpp"
+
+namespace ficon {
+namespace {
+
+Netlist two_modules() {
+  return Netlist("t", {{"a", 10, 20}, {"b", 30, 5}},
+                 {{"n", {Pin::on_module(0, 0.5, 0.5), Pin::on_module(1, 0.5, 0.5)}}});
+}
+
+TEST(SequencePair, InitialIsValid) {
+  const SequencePair p = SequencePair::initial(5);
+  EXPECT_EQ(p.module_count(), 5);
+  EXPECT_TRUE(SequencePair::is_valid(p.positive(), p.negative()));
+  EXPECT_EQ(p.positive(), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SequencePair, ValidityChecks) {
+  EXPECT_TRUE(SequencePair::is_valid({1, 0, 2}, {2, 1, 0}));
+  EXPECT_FALSE(SequencePair::is_valid({}, {}));
+  EXPECT_FALSE(SequencePair::is_valid({0, 1}, {0}));       // length mismatch
+  EXPECT_FALSE(SequencePair::is_valid({0, 0}, {0, 1}));    // repeat
+  EXPECT_FALSE(SequencePair::is_valid({0, 2}, {0, 1}));    // out of range
+}
+
+TEST(SequencePair, ConstructorRejectsBadInput) {
+  EXPECT_THROW(SequencePair({0, 0}, {0, 1}, {false, false}),
+               std::invalid_argument);
+  EXPECT_THROW(SequencePair({0, 1}, {1, 0}, {false}), std::invalid_argument);
+}
+
+TEST(SequencePair, MovesPreserveValidity) {
+  Rng rng(61);
+  SequencePair p = SequencePair::initial(9);
+  std::set<int> kinds;
+  for (int i = 0; i < 2000; ++i) {
+    const int kind = p.random_move(rng);
+    kinds.insert(kind);
+    ASSERT_TRUE(SequencePair::is_valid(p.positive(), p.negative()))
+        << "iter " << i;
+  }
+  EXPECT_EQ(kinds.size(), 3u);
+}
+
+TEST(SequencePair, SingleModuleHasNoMoves) {
+  Rng rng(1);
+  SequencePair p = SequencePair::initial(1);
+  EXPECT_EQ(p.random_move(rng), 0);
+}
+
+TEST(SequencePairPacker, SideBySideAndStacked) {
+  const Netlist n = two_modules();
+  const SequencePairPacker packer(n);
+  // Both sequences (0 1): module 0 left of module 1.
+  const auto lr = packer.pack(
+      SequencePair({0, 1}, {0, 1}, {false, false}));
+  EXPECT_DOUBLE_EQ(lr.width, 40.0);
+  EXPECT_DOUBLE_EQ(lr.height, 20.0);
+  EXPECT_DOUBLE_EQ(lr.placement.module_rects[1].xlo, 10.0);
+  EXPECT_TRUE(placement_is_legal(lr.placement));
+  // G+ (1 0), G- (0 1): module 0 below module 1.
+  const auto stacked = packer.pack(
+      SequencePair({1, 0}, {0, 1}, {false, false}));
+  EXPECT_DOUBLE_EQ(stacked.width, 30.0);
+  EXPECT_DOUBLE_EQ(stacked.height, 25.0);
+  EXPECT_DOUBLE_EQ(stacked.placement.module_rects[1].ylo, 20.0);
+  EXPECT_TRUE(placement_is_legal(stacked.placement));
+}
+
+TEST(SequencePairPacker, RotationSwapsDimensions) {
+  const Netlist n = two_modules();
+  const SequencePairPacker packer(n);
+  const auto r = packer.pack(SequencePair({0, 1}, {0, 1}, {true, false}));
+  EXPECT_DOUBLE_EQ(r.placement.module_rects[0].width(), 20.0);
+  EXPECT_DOUBLE_EQ(r.placement.module_rects[0].height(), 10.0);
+  EXPECT_TRUE(r.placement.rotated[0]);
+}
+
+TEST(SequencePairPacker, RandomStatesAlwaysLegal) {
+  const Netlist n = make_mcnc("ami33");
+  const SequencePairPacker packer(n);
+  Rng rng(62);
+  SequencePair p = SequencePair::initial(static_cast<int>(n.module_count()));
+  for (int iter = 0; iter < 100; ++iter) {
+    for (int k = 0; k < 10; ++k) p.random_move(rng);
+    const auto r = packer.pack(p);
+    ASSERT_TRUE(placement_is_legal(r.placement)) << "iter " << iter;
+    ASSERT_GE(r.area + 1e-6, n.total_module_area());
+    for (std::size_t m = 0; m < n.module_count(); ++m) {
+      ASSERT_NEAR(r.placement.module_rects[m].area(), n.modules()[m].area(),
+                  1e-6);
+    }
+  }
+}
+
+TEST(SequencePairPacker, InterleavedPairKnownLayout) {
+  // Three 10x10 squares; G+ (0 1 2), G- (1 0 2): 1 below 0, both left of 2.
+  const Netlist n("t", {{"a", 10, 10}, {"b", 10, 10}, {"c", 10, 10}},
+                  {{"n", {Pin::on_module(0, 0.5, 0.5), Pin::on_module(1, 0.5, 0.5)}}});
+  const SequencePairPacker packer(n);
+  const auto r = packer.pack(
+      SequencePair({0, 1, 2}, {1, 0, 2}, {false, false, false}));
+  EXPECT_DOUBLE_EQ(r.width, 20.0);
+  EXPECT_DOUBLE_EQ(r.height, 20.0);
+  EXPECT_DOUBLE_EQ(r.placement.module_rects[1].ylo, 0.0);   // b at bottom
+  EXPECT_DOUBLE_EQ(r.placement.module_rects[0].ylo, 10.0);  // a above b
+  EXPECT_DOUBLE_EQ(r.placement.module_rects[2].xlo, 10.0);  // c to the right
+  EXPECT_TRUE(placement_is_legal(r.placement));
+}
+
+TEST(SequencePairPacker, RejectsMismatchedPair) {
+  const Netlist n = two_modules();
+  const SequencePairPacker packer(n);
+  EXPECT_THROW(packer.pack(SequencePair::initial(3)), std::invalid_argument);
+}
+
+TEST(SequencePair, ToStringShowsBothSequences) {
+  const SequencePair p({1, 0}, {0, 1}, {true, false});
+  EXPECT_EQ(p.to_string(), "(1 0 | 0 1 | R.)");
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,186 @@
+// Shape-curve construction and Stockmeyer combination tests.
+#include <gtest/gtest.h>
+
+#include "floorplan/shape.hpp"
+#include "util/rng.hpp"
+
+namespace ficon {
+namespace {
+
+/// Reference combiner: all pairs + dominance pruning (O(n^2), oracle).
+std::vector<std::pair<double, double>> combine_bruteforce(
+    const ShapeCurve& a, const ShapeCurve& b, bool vertical) {
+  std::vector<std::pair<double, double>> all;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (vertical) {
+        all.emplace_back(a[i].w + b[j].w, std::max(a[i].h, b[j].h));
+      } else {
+        all.emplace_back(std::max(a[i].w, b[j].w), a[i].h + b[j].h);
+      }
+    }
+  }
+  // Prune dominated points ((w,h) dominated if another has <=w and <=h).
+  std::vector<std::pair<double, double>> kept;
+  for (const auto& p : all) {
+    bool dominated = false;
+    for (const auto& q : all) {
+      if (&p != &q && q.first <= p.first && q.second <= p.second &&
+          (q.first < p.first || q.second < p.second)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(p);
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  return kept;
+}
+
+ShapeCurve random_curve(Rng& rng) {
+  // Build a random module-like curve by combining a few random leaves.
+  ShapeCurve c = ShapeCurve::for_module(
+      Module{"x", rng.uniform(1, 20), rng.uniform(1, 20)});
+  const int extra = rng.uniform_int(0, 3);
+  for (int i = 0; i < extra; ++i) {
+    const ShapeCurve leaf = ShapeCurve::for_module(
+        Module{"y", rng.uniform(1, 20), rng.uniform(1, 20)});
+    c = rng.chance(0.5) ? ShapeCurve::combine_vertical(c, leaf)
+                        : ShapeCurve::combine_horizontal(c, leaf);
+  }
+  return c;
+}
+
+TEST(ShapeCurve, ModuleLeafShapes) {
+  const ShapeCurve c = ShapeCurve::for_module(Module{"m", 30, 10});
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0].w, 10);  // rotated first (smaller width)
+  EXPECT_DOUBLE_EQ(c[0].h, 30);
+  EXPECT_EQ(c[0].a, 1);  // rotated
+  EXPECT_DOUBLE_EQ(c[1].w, 30);
+  EXPECT_EQ(c[1].a, 0);
+  EXPECT_TRUE(c.invariant_holds());
+}
+
+TEST(ShapeCurve, SoftModuleSamplesAspectRange) {
+  const Module m = Module::make_soft("s", 400.0, 0.25, 4.0);
+  const ShapeCurve c = ShapeCurve::for_module(m);
+  ASSERT_GE(c.size(), 5u);
+  EXPECT_TRUE(c.invariant_holds());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i].w * c[i].h, 400.0, 1e-9);  // area preserved
+    const double aspect = c[i].w / c[i].h;
+    EXPECT_GE(aspect, 0.25 - 1e-9);
+    EXPECT_LE(aspect, 4.0 + 1e-9);
+    EXPECT_EQ(c[i].a, 0);  // soft realizations never transpose pins
+  }
+  // Extremes of the range are realized.
+  EXPECT_NEAR(c[0].w / c[0].h, 0.25, 1e-9);
+  EXPECT_NEAR(c[c.size() - 1].w / c[c.size() - 1].h, 4.0, 1e-9);
+}
+
+TEST(ShapeCurve, SoftModuleWithPinnedAspectSinglePoint) {
+  const Module m = Module::make_soft("s", 100.0, 2.0, 2.0);
+  const ShapeCurve c = ShapeCurve::for_module(m);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0].w / c[0].h, 2.0, 1e-9);
+}
+
+TEST(ShapeCurve, SoftAndHardCombine) {
+  const ShapeCurve soft =
+      ShapeCurve::for_module(Module::make_soft("s", 100.0, 0.5, 2.0));
+  const ShapeCurve hard = ShapeCurve::for_module(Module{"h", 12, 5});
+  const ShapeCurve v = ShapeCurve::combine_vertical(soft, hard);
+  EXPECT_TRUE(v.invariant_holds());
+  const ShapeCurve h = ShapeCurve::combine_horizontal(soft, hard);
+  EXPECT_TRUE(h.invariant_holds());
+}
+
+TEST(ShapeCurve, SquareModuleSinglePoint) {
+  const ShapeCurve c = ShapeCurve::for_module(Module{"m", 7, 7});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].a, 0);
+}
+
+TEST(ShapeCurve, VerticalCombineTwoRectangles) {
+  const ShapeCurve a = ShapeCurve::for_module(Module{"a", 4, 2});
+  const ShapeCurve b = ShapeCurve::for_module(Module{"b", 3, 1});
+  const ShapeCurve c = ShapeCurve::combine_vertical(a, b);
+  EXPECT_TRUE(c.invariant_holds());
+  // Every point's dims must equal sum/max of some child pair.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const ShapePoint& p = c[i];
+    const ShapePoint& l = a[static_cast<std::size_t>(p.a)];
+    const ShapePoint& r = b[static_cast<std::size_t>(p.b)];
+    EXPECT_DOUBLE_EQ(p.w, l.w + r.w);
+    EXPECT_DOUBLE_EQ(p.h, std::max(l.h, r.h));
+  }
+}
+
+TEST(ShapeCurve, CombinesMatchBruteForce) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ShapeCurve a = random_curve(rng);
+    const ShapeCurve b = random_curve(rng);
+    for (const bool vertical : {true, false}) {
+      const ShapeCurve c = vertical ? ShapeCurve::combine_vertical(a, b)
+                                    : ShapeCurve::combine_horizontal(a, b);
+      EXPECT_TRUE(c.invariant_holds());
+      const auto expected = combine_bruteforce(a, b, vertical);
+      ASSERT_EQ(c.size(), expected.size()) << "trial " << trial;
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_DOUBLE_EQ(c[i].w, expected[i].first);
+        EXPECT_DOUBLE_EQ(c[i].h, expected[i].second);
+      }
+    }
+  }
+}
+
+TEST(ShapeCurve, ChildChoicesConsistent) {
+  Rng rng(22);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ShapeCurve a = random_curve(rng);
+    const ShapeCurve b = random_curve(rng);
+    const ShapeCurve v = ShapeCurve::combine_vertical(a, b);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      ASSERT_GE(v[i].a, 0);
+      ASSERT_LT(static_cast<std::size_t>(v[i].a), a.size());
+      ASSERT_GE(v[i].b, 0);
+      ASSERT_LT(static_cast<std::size_t>(v[i].b), b.size());
+      EXPECT_DOUBLE_EQ(v[i].w, a[static_cast<std::size_t>(v[i].a)].w +
+                                   b[static_cast<std::size_t>(v[i].b)].w);
+    }
+    const ShapeCurve h = ShapeCurve::combine_horizontal(a, b);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      EXPECT_DOUBLE_EQ(h[i].h, a[static_cast<std::size_t>(h[i].a)].h +
+                                   b[static_cast<std::size_t>(h[i].b)].h);
+    }
+  }
+}
+
+TEST(ShapeCurve, MinAreaIndexIsMinimal) {
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ShapeCurve c = random_curve(rng);
+    const std::size_t best = c.min_area_index();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_LE(c[best].w * c[best].h, c[i].w * c[i].h + 1e-9);
+    }
+  }
+}
+
+TEST(ShapeCurve, CombineSizeBounded) {
+  // Non-dominated merge result has at most |a| + |b| - 1 points.
+  Rng rng(24);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ShapeCurve a = random_curve(rng);
+    const ShapeCurve b = random_curve(rng);
+    EXPECT_LE(ShapeCurve::combine_vertical(a, b).size(), a.size() + b.size());
+    EXPECT_LE(ShapeCurve::combine_horizontal(a, b).size(),
+              a.size() + b.size());
+  }
+}
+
+}  // namespace
+}  // namespace ficon

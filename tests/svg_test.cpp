@@ -1,0 +1,98 @@
+// SVG export sanity tests.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mcnc.hpp"
+#include "congestion/fixed_grid.hpp"
+#include "congestion/irregular_grid.hpp"
+#include "core/floorplanner.hpp"
+#include "exp/svg.hpp"
+#include "route/two_pin.hpp"
+
+namespace ficon {
+namespace {
+
+struct Scene {
+  Netlist netlist = make_mcnc("hp");
+  FloorplanSolution solution;
+  std::vector<TwoPinNet> nets;
+
+  Scene() {
+    FloorplanOptions o;
+    o.effort = 0.1;
+    o.anneal.stop_temperature_ratio = 1e-2;
+    solution = Floorplanner(netlist, o).run();
+    nets = decompose_to_two_pin(netlist, solution.placement);
+  }
+};
+
+long long count_of(const std::string& haystack, const std::string& needle) {
+  long long n = 0;
+  for (auto pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Svg, PlacementRendering) {
+  const Scene scene;
+  std::ostringstream os;
+  write_svg(os, scene.netlist, scene.solution.placement);
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One outline per module, plus background and chip outline.
+  EXPECT_GE(count_of(svg, "<rect"),
+            static_cast<long long>(scene.netlist.module_count()) + 2);
+  // Module names present.
+  EXPECT_NE(svg.find(scene.netlist.modules()[0].name), std::string::npos);
+  // Terminals drawn as circles.
+  EXPECT_EQ(count_of(svg, "<circle"),
+            static_cast<long long>(scene.netlist.terminal_count()));
+}
+
+TEST(Svg, FixedGridOverlay) {
+  const Scene scene;
+  const FixedGridModel model(FixedGridParams{100, 100, 0.10});
+  const CongestionMap map =
+      model.evaluate(scene.nets, scene.solution.placement.chip);
+  std::ostringstream os;
+  write_svg(os, scene.netlist, scene.solution.placement, map);
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("fill-opacity"), std::string::npos);
+  // Heat cells drawn only where congestion is non-zero.
+  long long nonzero = 0;
+  for (const double v : map.values()) {
+    if (v > 0.0) ++nonzero;
+  }
+  EXPECT_GE(count_of(svg, "<rect"), nonzero);
+}
+
+TEST(Svg, IrregularOverlayIncludesCutLines) {
+  const Scene scene;
+  IrregularGridParams params;
+  params.grid_w = params.grid_h = 30.0;
+  const IrregularGridModel model(params);
+  const IrregularCongestionMap map =
+      model.evaluate(scene.nets, scene.solution.placement.chip);
+  std::ostringstream os;
+  write_svg(os, scene.netlist, scene.solution.placement, map);
+  const std::string svg = os.str();
+  // One <line> per cut line in each axis (Figure 5 rendering).
+  EXPECT_EQ(count_of(svg, "<line"),
+            static_cast<long long>(map.lines().xs().size() +
+                                   map.lines().ys().size()));
+}
+
+TEST(Svg, NoNanCoordinates) {
+  const Scene scene;
+  std::ostringstream os;
+  write_svg(os, scene.netlist, scene.solution.placement);
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+  EXPECT_EQ(os.str().find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,139 @@
+// Tests for RNG determinism, statistics helpers and environment knobs.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ficon {
+namespace {
+
+TEST(SplitMix64, DeterministicAndWellMixed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  SplitMix64 c(42);
+  SplitMix64 d(43);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c.next() != d.next()) ++differing;
+  }
+  EXPECT_EQ(differing, 64);  // adjacent seeds diverge immediately
+}
+
+TEST(Rng, SeedDeterminism) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    EXPECT_EQ(a.uniform_int(0, 100), b.uniform_int(0, 100));
+  }
+}
+
+TEST(Rng, UniformRangesRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const int v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const std::size_t idx = rng.index(5);
+    EXPECT_LT(idx, 5u);
+  }
+}
+
+TEST(Rng, UniformIntCoversEndpoints) {
+  Rng rng(2);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 500 && !(lo && hi); ++i) {
+    const int v = rng.uniform_int(0, 3);
+    lo = lo || v == 0;
+    hi = hi || v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, RejectsEmptyRanges) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(RunningStats, MeanMinMaxVariance) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(TopFractionMean, PaperCostSemantics) {
+  // 10 values, top 10% = the single largest.
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 100};
+  EXPECT_DOUBLE_EQ(top_fraction_mean(v, 0.10), 100.0);
+  // Top 30% = mean of the three largest.
+  EXPECT_DOUBLE_EQ(top_fraction_mean(v, 0.30), (100.0 + 9.0 + 8.0) / 3.0);
+  // Whole set.
+  EXPECT_DOUBLE_EQ(top_fraction_mean(v, 1.0), 14.5);
+}
+
+TEST(TopFractionMean, AlwaysTakesAtLeastOne) {
+  std::vector<double> v{3.0, 1.0};
+  EXPECT_DOUBLE_EQ(top_fraction_mean(v, 0.01), 3.0);
+  EXPECT_DOUBLE_EQ(top_fraction_mean({}, 0.1), 0.0);
+  EXPECT_THROW(top_fraction_mean(v, 0.0), std::invalid_argument);
+  EXPECT_THROW(top_fraction_mean(v, 1.5), std::invalid_argument);
+}
+
+TEST(Pearson, KnownCorrelations) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+  const std::vector<double> c{3, 3, 3, 3, 3};
+  EXPECT_EQ(pearson(x, c), 0.0);
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("FICON_TEST_INT", "17", 1);
+  ::setenv("FICON_TEST_BAD", "not-a-number", 1);
+  ::setenv("FICON_TEST_DBL", "2.5", 1);
+  ::setenv("FICON_TEST_LIST", "a,b,c", 1);
+  EXPECT_EQ(env_int("FICON_TEST_INT", 3), 17);
+  EXPECT_EQ(env_int("FICON_TEST_BAD", 3), 3);
+  EXPECT_EQ(env_int("FICON_TEST_MISSING", 5), 5);
+  EXPECT_DOUBLE_EQ(env_double("FICON_TEST_DBL", 0.1), 2.5);
+  EXPECT_EQ(env_string("FICON_TEST_MISSING", "dflt"), "dflt");
+  const auto list = env_list("FICON_TEST_LIST", {"x"});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], "a");
+  EXPECT_EQ(list[2], "c");
+  EXPECT_EQ(env_list("FICON_TEST_MISSING", {"x"}),
+            std::vector<std::string>{"x"});
+  ::unsetenv("FICON_TEST_INT");
+  ::unsetenv("FICON_TEST_BAD");
+  ::unsetenv("FICON_TEST_DBL");
+  ::unsetenv("FICON_TEST_LIST");
+}
+
+}  // namespace
+}  // namespace ficon
