@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig34_gridsize.dir/bench_fig34_gridsize.cpp.o"
+  "CMakeFiles/bench_fig34_gridsize.dir/bench_fig34_gridsize.cpp.o.d"
+  "bench_fig34_gridsize"
+  "bench_fig34_gridsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig34_gridsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_formula.dir/bench_micro_formula.cpp.o"
+  "CMakeFiles/bench_micro_formula.dir/bench_micro_formula.cpp.o.d"
+  "bench_micro_formula"
+  "bench_micro_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficon_cli.dir/ficon_cli.cpp.o"
+  "CMakeFiles/ficon_cli.dir/ficon_cli.cpp.o.d"
+  "ficon_cli"
+  "ficon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/mcnc.cpp" "src/CMakeFiles/ficon.dir/circuit/mcnc.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/circuit/mcnc.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/ficon.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/parser.cpp" "src/CMakeFiles/ficon.dir/circuit/parser.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/circuit/parser.cpp.o.d"
+  "/root/repo/src/congestion/approx.cpp" "src/CMakeFiles/ficon.dir/congestion/approx.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/congestion/approx.cpp.o.d"
+  "/root/repo/src/congestion/congestion_map.cpp" "src/CMakeFiles/ficon.dir/congestion/congestion_map.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/congestion/congestion_map.cpp.o.d"
+  "/root/repo/src/congestion/cutlines.cpp" "src/CMakeFiles/ficon.dir/congestion/cutlines.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/congestion/cutlines.cpp.o.d"
+  "/root/repo/src/congestion/fixed_grid.cpp" "src/CMakeFiles/ficon.dir/congestion/fixed_grid.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/congestion/fixed_grid.cpp.o.d"
+  "/root/repo/src/congestion/irregular_grid.cpp" "src/CMakeFiles/ficon.dir/congestion/irregular_grid.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/congestion/irregular_grid.cpp.o.d"
+  "/root/repo/src/congestion/path_prob.cpp" "src/CMakeFiles/ficon.dir/congestion/path_prob.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/congestion/path_prob.cpp.o.d"
+  "/root/repo/src/core/floorplanner.cpp" "src/CMakeFiles/ficon.dir/core/floorplanner.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/core/floorplanner.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "src/CMakeFiles/ficon.dir/exp/experiment.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/svg.cpp" "src/CMakeFiles/ficon.dir/exp/svg.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/exp/svg.cpp.o.d"
+  "/root/repo/src/exp/table.cpp" "src/CMakeFiles/ficon.dir/exp/table.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/exp/table.cpp.o.d"
+  "/root/repo/src/floorplan/polish.cpp" "src/CMakeFiles/ficon.dir/floorplan/polish.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/floorplan/polish.cpp.o.d"
+  "/root/repo/src/floorplan/sequence_pair.cpp" "src/CMakeFiles/ficon.dir/floorplan/sequence_pair.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/floorplan/sequence_pair.cpp.o.d"
+  "/root/repo/src/floorplan/shape.cpp" "src/CMakeFiles/ficon.dir/floorplan/shape.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/floorplan/shape.cpp.o.d"
+  "/root/repo/src/floorplan/slicing.cpp" "src/CMakeFiles/ficon.dir/floorplan/slicing.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/floorplan/slicing.cpp.o.d"
+  "/root/repo/src/numeric/factorial.cpp" "src/CMakeFiles/ficon.dir/numeric/factorial.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/numeric/factorial.cpp.o.d"
+  "/root/repo/src/route/two_pin.cpp" "src/CMakeFiles/ficon.dir/route/two_pin.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/route/two_pin.cpp.o.d"
+  "/root/repo/src/router/global_router.cpp" "src/CMakeFiles/ficon.dir/router/global_router.cpp.o" "gcc" "src/CMakeFiles/ficon.dir/router/global_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

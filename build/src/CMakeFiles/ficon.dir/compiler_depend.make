@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ficon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ficon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cutlines_test.dir/cutlines_test.cpp.o"
+  "CMakeFiles/cutlines_test.dir/cutlines_test.cpp.o.d"
+  "cutlines_test"
+  "cutlines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cutlines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

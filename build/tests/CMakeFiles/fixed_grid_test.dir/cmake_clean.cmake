@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_grid_test.dir/fixed_grid_test.cpp.o"
+  "CMakeFiles/fixed_grid_test.dir/fixed_grid_test.cpp.o.d"
+  "fixed_grid_test"
+  "fixed_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

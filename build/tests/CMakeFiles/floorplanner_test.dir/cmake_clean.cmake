@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplanner_test.dir/floorplanner_test.cpp.o"
+  "CMakeFiles/floorplanner_test.dir/floorplanner_test.cpp.o.d"
+  "floorplanner_test"
+  "floorplanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formula3_test.dir/formula3_test.cpp.o"
+  "CMakeFiles/formula3_test.dir/formula3_test.cpp.o.d"
+  "formula3_test"
+  "formula3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

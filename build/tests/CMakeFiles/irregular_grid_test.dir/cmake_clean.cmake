@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_grid_test.dir/irregular_grid_test.cpp.o"
+  "CMakeFiles/irregular_grid_test.dir/irregular_grid_test.cpp.o.d"
+  "irregular_grid_test"
+  "irregular_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

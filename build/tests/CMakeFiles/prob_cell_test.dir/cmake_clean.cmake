@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_cell_test.dir/prob_cell_test.cpp.o"
+  "CMakeFiles/prob_cell_test.dir/prob_cell_test.cpp.o.d"
+  "prob_cell_test"
+  "prob_cell_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

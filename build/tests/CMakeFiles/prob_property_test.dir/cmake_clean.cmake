@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_property_test.dir/prob_property_test.cpp.o"
+  "CMakeFiles/prob_property_test.dir/prob_property_test.cpp.o.d"
+  "prob_property_test"
+  "prob_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_pair_test.dir/sequence_pair_test.cpp.o"
+  "CMakeFiles/sequence_pair_test.dir/sequence_pair_test.cpp.o.d"
+  "sequence_pair_test"
+  "sequence_pair_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
