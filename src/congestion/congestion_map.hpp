@@ -9,8 +9,11 @@
 
 namespace ficon {
 
-/// Per-cell accumulated crossing probabilities f(x,y) = sum_i P_i(x,y)
-/// (paper section 3) on a uniform grid.
+/// @brief Per-cell accumulated crossing probabilities f(x,y) =
+/// sum_i P_i(x,y) (paper section 3) on a uniform grid.
+///
+/// A plain value type: reads are safe to share, concurrent writes are not
+/// (the parallel evaluator gives each block its own partial and merges).
 class CongestionMap {
  public:
   explicit CongestionMap(GridSpec grid)
@@ -19,9 +22,20 @@ class CongestionMap {
 
   const GridSpec& grid() const { return grid_; }
 
+  /// @brief Accumulated crossing probability f(x,y) of cell (cx, cy).
   double at(int cx, int cy) const { return values_[index(cx, cy)]; }
+  /// @brief Add probability mass `p` to cell (cx, cy).
   void add(int cx, int cy, double p) { values_[index(cx, cy)] += p; }
 
+  /// @brief Element-wise add a partial grid (same layout as values()) —
+  /// the ordered-reduction step of the parallel fixed-grid evaluator.
+  void merge(const std::vector<double>& partial) {
+    FICON_REQUIRE(partial.size() == values_.size(),
+                  "partial grid size mismatch");
+    for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += partial[i];
+  }
+
+  /// Row-major cell values (y-major, same indexing as at()).
   const std::vector<double>& values() const { return values_; }
 
   double max_value() const { return values_.empty() ? 0.0 : max_of(values_); }

@@ -18,27 +18,40 @@
 
 namespace ficon {
 
-/// The sorted cut-line coordinates of an Irregular-Grid. xs/ys always
-/// include the chip boundaries as first and last entries, so the grid has
-/// (xs.size()-1) x (ys.size()-1) IR-cells.
+/// @brief The sorted cut-line coordinates of an Irregular-Grid.
+///
+/// xs/ys always include the chip boundaries as first and last entries, so
+/// the grid has (xs.size()-1) x (ys.size()-1) IR-cells. Immutable after
+/// construction and therefore safe to share across evaluation threads.
 class CutLines {
  public:
+  /// @param xs sorted vertical cut-line coordinates (um), >= 2 entries.
+  /// @param ys sorted horizontal cut-line coordinates (um), >= 2 entries.
   CutLines(std::vector<double> xs, std::vector<double> ys);
 
+  /// Sorted vertical cut-line coordinates, chip boundaries included.
   const std::vector<double>& xs() const { return xs_; }
+  /// Sorted horizontal cut-line coordinates, chip boundaries included.
   const std::vector<double>& ys() const { return ys_; }
 
+  /// Number of IR-cell columns (xs().size() - 1).
   int nx() const { return static_cast<int>(xs_.size()) - 1; }
+  /// Number of IR-cell rows (ys().size() - 1).
   int ny() const { return static_cast<int>(ys_.size()) - 1; }
+  /// Total IR-cells — the "# of IR-grid" quantity of Table 4.
   long long cell_count() const {
     return static_cast<long long>(nx()) * static_cast<long long>(ny());
   }
 
-  /// Index of the cut line nearest to the coordinate.
+  /// @brief Index of the cut line nearest to coordinate `x` — how routing
+  /// ranges are snapped onto the merged grid (algorithm step 2).
   int nearest_x(double x) const { return nearest(xs_, x); }
+  /// @brief Index of the cut line nearest to coordinate `y`.
   int nearest_y(double y) const { return nearest(ys_, y); }
 
-  /// um rectangle of IR-cell (ix, iy).
+  /// @brief um rectangle of IR-cell (ix, iy).
+  /// @param ix column index in [0, nx()).
+  /// @param iy row index in [0, ny()).
   Rect cell_rect(int ix, int iy) const {
     FICON_REQUIRE(ix >= 0 && ix < nx() && iy >= 0 && iy < ny(),
                   "IR-cell index out of range");
@@ -55,16 +68,29 @@ class CutLines {
   std::vector<double> ys_;
 };
 
-/// Build the Irregular-Grid cut lines from the routing ranges of the
-/// decomposed nets. Lines closer than min_dx (min_dy) are merged into their
-/// cluster mean; the chip boundary lines are pinned and never move.
+/// @brief Build the Irregular-Grid cut lines from the routing ranges of
+/// the decomposed nets (algorithm steps 1-2).
+///
+/// Every net's routing range contributes its two vertical and two
+/// horizontal boundary extensions; lines closer than min_dx (min_dy) are
+/// merged into their cluster mean. The chip boundary lines are pinned and
+/// never move.
+///
+/// @param nets   decomposed 2-pin nets whose ranges seed the lines.
+/// @param chip   chip rectangle providing the outer, pinned boundaries.
+/// @param min_dx merge threshold in x (um) — the paper uses 2x the pitch.
+/// @param min_dy merge threshold in y (um).
+/// @return merged, sorted cut lines covering the chip.
 CutLines build_cutlines(std::span<const TwoPinNet> nets, const Rect& chip,
                         double min_dx, double min_dy);
 
-/// Exposed for tests: merge one sorted axis worth of coordinates. `lo`/`hi`
-/// are the pinned chip boundaries; interior clusters within min_gap collapse
-/// to their mean, and interior lines within min_gap of a boundary collapse
-/// into the boundary.
+/// @brief Merge one sorted axis worth of coordinates (exposed for tests).
+///
+/// @param coords candidate interior line coordinates (any order).
+/// @param lo,hi  pinned chip boundaries; interior lines within min_gap of
+///               a boundary collapse into the boundary.
+/// @param min_gap interior clusters within this gap collapse to their mean.
+/// @return sorted merged coordinates, lo and hi included.
 std::vector<double> merge_lines(std::vector<double> coords, double lo,
                                 double hi, double min_gap);
 

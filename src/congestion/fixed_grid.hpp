@@ -35,20 +35,27 @@ class FixedGridModel {
 
   const FixedGridParams& params() const { return params_; }
 
-  /// Build the full congestion map f(x,y) for the decomposed nets.
-  /// Marked const for callers; the internal log-factorial cache grows on
-  /// first use (single-threaded, see numeric/factorial.hpp).
+  /// @brief Build the full congestion map f(x,y) for the decomposed nets.
+  ///
+  /// Nets are accumulated in parallel on the global ThreadPool: blocks of
+  /// nets (boundaries a function of the net count only) fill per-block
+  /// partial grids that are merged in block order, so the map is
+  /// bit-identical for every `FICON_THREADS` value. Thread-safe —
+  /// log-factorial caches are thread_local (see docs/ARCHITECTURE.md).
+  ///
+  /// @param nets  decomposed 2-pin nets.
+  /// @param chip  chip rectangle; defines the grid via the params' pitch.
   CongestionMap evaluate(std::span<const TwoPinNet> nets,
                          const Rect& chip) const;
 
-  /// Solution cost: mean of the top `top_fraction` most congested cells.
+  /// @brief Solution cost: mean of the top `top_fraction` most congested
+  /// cells (the paper's section 3 objective).
   double cost(std::span<const TwoPinNet> nets, const Rect& chip) const {
     return evaluate(nets, chip).top_fraction_cost(params_.top_fraction);
   }
 
  private:
   FixedGridParams params_;
-  mutable LogFactorialTable table_;
 };
 
 /// The paper's judging model: fixed-grid estimator at 10x10 um^2.

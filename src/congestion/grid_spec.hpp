@@ -18,12 +18,18 @@
 
 namespace ficon {
 
-/// A uniform grid over a chip rectangle.
+/// @brief A uniform grid over a chip rectangle.
+///
+/// Maps chip coordinates (um) to cell indices and back. Immutable after
+/// construction; safe to share across evaluation threads.
 class GridSpec {
  public:
-  /// Build a grid with the requested pitch; the chip is covered by
+  /// @brief Build a grid with the requested pitch; the chip is covered by
   /// ceil(extent / pitch) cells per axis (the last row/column may hang
   /// over the chip edge, matching how fixed-grid estimators bin pins).
+  /// @param chip    chip rectangle with positive area.
+  /// @param pitch_x cell width (um), > 0.
+  /// @param pitch_y cell height (um), > 0.
   static GridSpec from_pitch(const Rect& chip, double pitch_x,
                              double pitch_y) {
     FICON_REQUIRE(chip.is_proper(), "chip must have positive area");
@@ -37,7 +43,9 @@ class GridSpec {
     return g;
   }
 
-  /// Build a grid with exact cell counts (pitch derived from the chip).
+  /// @brief Build a grid with exact cell counts (pitch derived from the
+  /// chip) — the Figure 3 "4x4 vs 6x6 cut" configuration.
+  /// @param nx,ny cell counts per axis, >= 1.
   static GridSpec from_counts(const Rect& chip, int nx, int ny) {
     FICON_REQUIRE(chip.is_proper(), "chip must have positive area");
     FICON_REQUIRE(nx >= 1 && ny >= 1, "cell counts must be positive");
@@ -50,29 +58,39 @@ class GridSpec {
     return g;
   }
 
+  /// Chip rectangle the grid covers.
   const Rect& chip() const { return chip_; }
+  /// Number of cell columns.
   int nx() const { return nx_; }
+  /// Number of cell rows.
   int ny() const { return ny_; }
+  /// Cell width (um).
   double pitch_x() const { return pitch_x_; }
+  /// Cell height (um).
   double pitch_y() const { return pitch_y_; }
+  /// Total number of cells (nx * ny).
   long long cell_count() const {
     return static_cast<long long>(nx_) * static_cast<long long>(ny_);
   }
 
-  /// Cell index containing coordinate x (clamped to the grid).
+  /// @brief Cell column index containing coordinate x (clamped to the grid).
   int cell_x(double x) const {
     const int c = static_cast<int>(std::floor((x - chip_.xlo) / pitch_x_));
     return std::clamp(c, 0, nx_ - 1);
   }
+  /// @brief Cell row index containing coordinate y (clamped to the grid).
   int cell_y(double y) const {
     const int c = static_cast<int>(std::floor((y - chip_.ylo) / pitch_y_));
     return std::clamp(c, 0, ny_ - 1);
   }
 
+  /// @brief Cell containing point p (clamped to the grid) — how pins are
+  /// binned.
   GridPoint cell_of(const Point& p) const {
     return GridPoint{cell_x(p.x), cell_y(p.y)};
   }
 
+  /// @brief um rectangle of cell (cx, cy).
   Rect cell_rect(int cx, int cy) const {
     FICON_REQUIRE(cx >= 0 && cx < nx_ && cy >= 0 && cy < ny_,
                   "cell index out of range");
@@ -89,14 +107,20 @@ class GridSpec {
   int ny_ = 0;
 };
 
-/// A 2-pin net mapped onto a grid: covered cell span + probabilistic shape.
+/// @brief A 2-pin net mapped onto a grid: covered cell span +
+/// probabilistic shape.
 struct SpannedNet {
   GridPoint origin;    ///< global cell of the span's lower-left corner
   NetGridShape shape;  ///< g1 x g2 cells, type I/II
 };
 
-/// Classify a 2-pin net on a grid (Figure 1). Ties in x or y collapse to a
-/// degenerate (line/point) shape where the type flag is irrelevant.
+/// @brief Classify a 2-pin net on a grid (Figure 1).
+///
+/// Ties in x or y collapse to a degenerate (line/point) shape where the
+/// type flag is irrelevant.
+/// @param grid grid the pins are binned on.
+/// @param net  the 2-pin net (pin coordinates in um).
+/// @return covered cell window plus the g1 x g2 / type I-II shape.
 inline SpannedNet span_net(const GridSpec& grid, const TwoPinNet& net) {
   const GridPoint ca = grid.cell_of(net.a);
   const GridPoint cb = grid.cell_of(net.b);

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <ostream>
 
+#include "util/thread_pool.hpp"
+
 namespace ficon {
 
 double IrregularCongestionMap::top_fraction_cost(double fraction) const {
@@ -66,6 +68,22 @@ int local_hi(double hi, double origin, double pitch, int g) {
   return std::clamp(static_cast<int>(std::ceil(raw - 1e-9)) - 1, 0, g - 1);
 }
 
+/// A partial flow grid: one block's accumulation target. Same row-major
+/// layout as IrregularCongestionMap::flow(); partials from all blocks are
+/// reduced in block order at the end of evaluate().
+struct FlowGrid {
+  std::vector<double>* flow;
+  int nx;
+  int ny;
+
+  void add(int ix, int iy, double p) const {
+    FICON_REQUIRE(ix >= 0 && ix < nx && iy >= 0 && iy < ny,
+                  "IR-cell index out of range");
+    (*flow)[static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx) +
+            static_cast<std::size_t>(ix)] += p;
+  }
+};
+
 /// One net's placement on the Irregular-Grid: covered IR-cell index window
 /// plus the local fine lattice.
 struct NetOnGrid {
@@ -94,7 +112,7 @@ class BandedEvaluator {
   BandedEvaluator(LogFactorialTable& table, const IrregularGridParams& params)
       : table_(&table), params_(&params) {}
 
-  void accumulate(IrregularCongestionMap& map, const CutLines& cl,
+  void accumulate(const FlowGrid& out, const CutLines& cl,
                   const NetOnGrid& net) {
     const int g1 = net.shape.g1;
     const int g2 = net.shape.g2;
@@ -182,7 +200,7 @@ class BandedEvaluator {
       }
     }
 
-    // --- Pin override + accumulation into the global map.
+    // --- Pin override + accumulation into the block's partial grid.
     for (int cy = 0; cy < ncy; ++cy) {
       const int cy1 = row_cy1_[static_cast<std::size_t>(cy)];
       const int cy2 = row_cy2_[static_cast<std::size_t>(cy)];
@@ -193,7 +211,7 @@ class BandedEvaluator {
         const bool covers_source = lx1 == 0 && cy1 == 0;
         const bool covers_sink = lx2 == g1 - 1 && cy2 == g2 - 1;
         if (covers_source || covers_sink) p = 1.0;
-        map.add_flow(net.ix1 + cx, net.iy1 + cy, std::clamp(p, 0.0, 1.0));
+        out.add(net.ix1 + cx, net.iy1 + cy, std::clamp(p, 0.0, 1.0));
       }
     }
   }
@@ -206,11 +224,88 @@ class BandedEvaluator {
 
   LogFactorialTable* table_;
   const IrregularGridParams* params_;
-  // Scratch buffers reused across nets (the model is single-threaded).
+  // Scratch buffers reused across the nets of one evaluation block (each
+  // block has its own evaluator, so these are never shared between threads).
   std::vector<double> cell_flow_;
   std::vector<double> prefix_;
   std::vector<int> col_lx1_, col_lx2_, row_cy1_, row_cy2_;
 };
+
+/// Score one net (algorithm steps 3.1-3.3) into a partial flow grid.
+void score_net(const TwoPinNet& net, const CutLines& cl, const Rect& chip,
+               const IrregularGridParams& params, const FlowGrid& out,
+               const PathProbability& exact,
+               const ApproxRegionProbability& approx,
+               BandedEvaluator& banded) {
+  const Rect range = net.routing_range().intersection(chip);
+  if (!range.valid()) return;  // net fully outside the chip window
+
+  // Snap the routing range to the merged cut lines (step 2's "modify the
+  // corresponding routing ranges").
+  NetOnGrid on_grid;
+  on_grid.ix1 = cl.nearest_x(range.xlo);
+  on_grid.ix2 = cl.nearest_x(range.xhi);
+  on_grid.iy1 = cl.nearest_y(range.ylo);
+  on_grid.iy2 = cl.nearest_y(range.yhi);
+  on_grid.sx1 = cl.xs()[static_cast<std::size_t>(on_grid.ix1)];
+  on_grid.sy1 = cl.ys()[static_cast<std::size_t>(on_grid.iy1)];
+  const double sx2 = cl.xs()[static_cast<std::size_t>(on_grid.ix2)];
+  const double sy2 = cl.ys()[static_cast<std::size_t>(on_grid.iy2)];
+
+  // Degenerate (line/point) ranges after snapping: the single route
+  // covers its cells with probability 1.
+  if (on_grid.ix1 == on_grid.ix2 || on_grid.iy1 == on_grid.iy2) {
+    const int cx_lo = std::min(on_grid.ix1, cl.nx() - 1);
+    const int cy_lo = std::min(on_grid.iy1, cl.ny() - 1);
+    const int cx_hi =
+        on_grid.ix1 == on_grid.ix2 ? cx_lo : std::max(0, on_grid.ix2 - 1);
+    const int cy_hi =
+        on_grid.iy1 == on_grid.iy2 ? cy_lo : std::max(0, on_grid.iy2 - 1);
+    for (int iy = std::min(cy_lo, cy_hi); iy <= std::max(cy_lo, cy_hi);
+         ++iy) {
+      for (int ix = std::min(cx_lo, cx_hi); ix <= std::max(cx_lo, cx_hi);
+           ++ix) {
+        out.add(ix, iy, 1.0);
+      }
+    }
+    return;
+  }
+
+  // Fine lattice of the snapped routing range.
+  on_grid.shape.g1 = std::max(
+      1, static_cast<int>(std::ceil((sx2 - on_grid.sx1) / params.grid_w - 1e-9)));
+  on_grid.shape.g2 = std::max(
+      1, static_cast<int>(std::ceil((sy2 - on_grid.sy1) / params.grid_h - 1e-9)));
+  // Type II iff the left pin is the upper pin (Figure 1).
+  const Point& left = net.a.x <= net.b.x ? net.a : net.b;
+  const Point& right = net.a.x <= net.b.x ? net.b : net.a;
+  on_grid.shape.type2 = !on_grid.shape.degenerate() && left.y > right.y;
+
+  if (params.strategy == IrEvalStrategy::kBandedExact &&
+      !on_grid.shape.degenerate()) {
+    banded.accumulate(out, cl, on_grid);
+    return;
+  }
+
+  // Steps 3.1-3.3: score every IR-cell covered by the snapped range.
+  for (int iy = on_grid.iy1; iy < on_grid.iy2; ++iy) {
+    for (int ix = on_grid.ix1; ix < on_grid.ix2; ++ix) {
+      const Rect cell = cl.cell_rect(ix, iy);
+      const GridRect region{
+          local_lo(cell.xlo, on_grid.sx1, params.grid_w, on_grid.shape.g1),
+          local_lo(cell.ylo, on_grid.sy1, params.grid_h, on_grid.shape.g2),
+          local_hi(cell.xhi, on_grid.sx1, params.grid_w, on_grid.shape.g1),
+          local_hi(cell.yhi, on_grid.sy1, params.grid_h, on_grid.shape.g2)};
+      const double p =
+          params.strategy == IrEvalStrategy::kTheorem1
+              ? approx.region_probability(on_grid.shape, region)
+              : (exact.region_covers_pin(on_grid.shape, region)
+                     ? 1.0
+                     : exact.region_probability_exact(on_grid.shape, region));
+      out.add(ix, iy, p);
+    }
+  }
+}
 
 }  // namespace
 
@@ -221,88 +316,39 @@ IrregularCongestionMap IrregularGridModel::evaluate(
   CutLines lines =
       build_cutlines(nets, chip, params_.merge_factor * params_.grid_w,
                      params_.merge_factor * params_.grid_h);
-  IrregularCongestionMap map(std::move(lines));
-  const CutLines& cl = map.lines();
+  const std::size_t cells = static_cast<std::size_t>(lines.cell_count());
 
-  PathProbability exact(table_);
-  const ApproxRegionProbability approx(exact, params_.approx);
-  BandedEvaluator banded(table_, params_);
-
-  for (const TwoPinNet& net : nets) {
-    const Rect range = net.routing_range().intersection(chip);
-    if (!range.valid()) continue;  // net fully outside the chip window
-
-    // Snap the routing range to the merged cut lines (step 2's "modify the
-    // corresponding routing ranges").
-    NetOnGrid on_grid;
-    on_grid.ix1 = cl.nearest_x(range.xlo);
-    on_grid.ix2 = cl.nearest_x(range.xhi);
-    on_grid.iy1 = cl.nearest_y(range.ylo);
-    on_grid.iy2 = cl.nearest_y(range.yhi);
-    on_grid.sx1 = cl.xs()[static_cast<std::size_t>(on_grid.ix1)];
-    on_grid.sy1 = cl.ys()[static_cast<std::size_t>(on_grid.iy1)];
-    const double sx2 = cl.xs()[static_cast<std::size_t>(on_grid.ix2)];
-    const double sy2 = cl.ys()[static_cast<std::size_t>(on_grid.iy2)];
-
-    // Degenerate (line/point) ranges after snapping: the single route
-    // covers its cells with probability 1.
-    if (on_grid.ix1 == on_grid.ix2 || on_grid.iy1 == on_grid.iy2) {
-      const int cx_lo = std::min(on_grid.ix1, cl.nx() - 1);
-      const int cy_lo = std::min(on_grid.iy1, cl.ny() - 1);
-      const int cx_hi = on_grid.ix1 == on_grid.ix2
-                            ? cx_lo
-                            : std::max(0, on_grid.ix2 - 1);
-      const int cy_hi = on_grid.iy1 == on_grid.iy2
-                            ? cy_lo
-                            : std::max(0, on_grid.iy2 - 1);
-      for (int iy = std::min(cy_lo, cy_hi); iy <= std::max(cy_lo, cy_hi);
-           ++iy) {
-        for (int ix = std::min(cx_lo, cx_hi); ix <= std::max(cx_lo, cx_hi);
-             ++ix) {
-          map.add_flow(ix, iy, 1.0);
-        }
-      }
-      continue;
+  // Steps 3-4, parallel: nets are partitioned into blocks (boundaries a
+  // function of the net count only — NOT the thread count), every block
+  // accumulates into a private partial grid, and the partials are reduced
+  // in block order below. Fixed blocking + ordered reduction make the
+  // result bit-identical for every FICON_THREADS setting.
+  const int blocks = deterministic_block_count(nets.size());
+  std::vector<std::vector<double>> partial(static_cast<std::size_t>(blocks));
+  const CutLines& cl = lines;
+  const IrregularGridParams& params = params_;
+  ThreadPool::global().run(blocks, [&](int b) {
+    // Per-thread log-factorial cache: amortized across calls like the old
+    // single-threaded member table, but race-free.
+    thread_local LogFactorialTable table;
+    PathProbability exact(table);
+    const ApproxRegionProbability approx(exact, params.approx);
+    BandedEvaluator banded(table, params);
+    std::vector<double>& flow = partial[static_cast<std::size_t>(b)];
+    flow.assign(cells, 0.0);
+    const FlowGrid out{&flow, cl.nx(), cl.ny()};
+    const BlockRange range = block_range(nets.size(), blocks, b);
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      score_net(nets[i], cl, chip, params, out, exact, approx, banded);
     }
+  });
 
-    // Fine lattice of the snapped routing range.
-    on_grid.shape.g1 = std::max(
-        1,
-        static_cast<int>(std::ceil((sx2 - on_grid.sx1) / params_.grid_w - 1e-9)));
-    on_grid.shape.g2 = std::max(
-        1,
-        static_cast<int>(std::ceil((sy2 - on_grid.sy1) / params_.grid_h - 1e-9)));
-    // Type II iff the left pin is the upper pin (Figure 1).
-    const Point& left = net.a.x <= net.b.x ? net.a : net.b;
-    const Point& right = net.a.x <= net.b.x ? net.b : net.a;
-    on_grid.shape.type2 = !on_grid.shape.degenerate() && left.y > right.y;
-
-    if (params_.strategy == IrEvalStrategy::kBandedExact &&
-        !on_grid.shape.degenerate()) {
-      banded.accumulate(map, cl, on_grid);
-      continue;
-    }
-
-    // Steps 3.1-3.3: score every IR-cell covered by the snapped range.
-    for (int iy = on_grid.iy1; iy < on_grid.iy2; ++iy) {
-      for (int ix = on_grid.ix1; ix < on_grid.ix2; ++ix) {
-        const Rect cell = cl.cell_rect(ix, iy);
-        const GridRect region{
-            local_lo(cell.xlo, on_grid.sx1, params_.grid_w, on_grid.shape.g1),
-            local_lo(cell.ylo, on_grid.sy1, params_.grid_h, on_grid.shape.g2),
-            local_hi(cell.xhi, on_grid.sx1, params_.grid_w, on_grid.shape.g1),
-            local_hi(cell.yhi, on_grid.sy1, params_.grid_h, on_grid.shape.g2)};
-        const double p =
-            params_.strategy == IrEvalStrategy::kTheorem1
-                ? approx.region_probability(on_grid.shape, region)
-                : (exact.region_covers_pin(on_grid.shape, region)
-                       ? 1.0
-                       : exact.region_probability_exact(on_grid.shape, region));
-        map.add_flow(ix, iy, p);
-      }
-    }
+  // Ordered reduction (block 0 first, block N-1 last).
+  std::vector<double> flow(cells, 0.0);
+  for (const std::vector<double>& p : partial) {
+    for (std::size_t i = 0; i < cells; ++i) flow[i] += p[i];
   }
-  return map;
+  return IrregularCongestionMap(std::move(lines), std::move(flow));
 }
 
 }  // namespace ficon

@@ -54,9 +54,18 @@ struct IrregularGridParams {
 /// accumulated crossing probability F(I) of every IR-cell.
 class IrregularCongestionMap {
  public:
-  IrregularCongestionMap(CutLines lines)
+  /// @brief Empty map (all-zero flow) over the given cut lines.
+  explicit IrregularCongestionMap(CutLines lines)
       : lines_(std::move(lines)),
         flow_(static_cast<std::size_t>(lines_.cell_count()), 0.0) {}
+
+  /// @brief Adopt an already-accumulated flow vector (row-major, iy-major
+  /// like flow()); used by the parallel evaluator's block reduction.
+  IrregularCongestionMap(CutLines lines, std::vector<double> flow)
+      : lines_(std::move(lines)), flow_(std::move(flow)) {
+    FICON_REQUIRE(flow_.size() == static_cast<std::size_t>(lines_.cell_count()),
+                  "flow vector does not match the cut-line grid");
+  }
 
   const CutLines& lines() const { return lines_; }
   int nx() const { return lines_.nx(); }
@@ -108,9 +117,20 @@ class IrregularGridModel {
 
   const IrregularGridParams& params() const { return params_; }
 
-  /// Run the full Congestion Information Computation algorithm (section
-  /// 4.6) over the decomposed nets. const apart from the growing
-  /// log-factorial cache (single-threaded).
+  /// @brief Run the full Congestion Information Computation algorithm
+  /// (section 4.6) over the decomposed nets.
+  ///
+  /// Nets are scored in parallel on the global ThreadPool: they are split
+  /// into blocks whose boundaries depend only on the net count, each block
+  /// accumulates into its own partial flow grid, and the partials are
+  /// reduced in block order — so the result is bit-identical for every
+  /// `FICON_THREADS` value (see docs/ARCHITECTURE.md, "Threading model").
+  /// Thread-safe: concurrent evaluate() calls on the same model are fine
+  /// (log-factorial caches are thread_local).
+  ///
+  /// @param nets  decomposed 2-pin nets (see decompose_to_two_pin()).
+  /// @param chip  chip rectangle; nets outside it are clipped/skipped.
+  /// @return cut lines plus per-IR-cell accumulated crossing probability.
   IrregularCongestionMap evaluate(std::span<const TwoPinNet> nets,
                                   const Rect& chip) const;
 
@@ -121,7 +141,6 @@ class IrregularGridModel {
 
  private:
   IrregularGridParams params_;
-  mutable LogFactorialTable table_;
 };
 
 }  // namespace ficon

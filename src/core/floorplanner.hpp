@@ -41,15 +41,19 @@ enum class FloorplanEngine {
   kSequencePair,      ///< Murata et al. non-slicing floorplans
 };
 
+/// @brief The annealing objective: alpha*Area + beta*Wire +
+/// gamma*Congestion, each term normalized by a random-walk baseline.
 struct FloorplanObjective {
   double alpha = 1.0;  ///< area weight
   double beta = 1.0;   ///< wirelength weight
   double gamma = 0.0;  ///< congestion weight (ignored for kNone)
   CongestionModelKind model = CongestionModelKind::kNone;
-  IrregularGridParams irregular{};
-  FixedGridParams fixed{};
+  IrregularGridParams irregular{};  ///< params when model == kIrregularGrid
+  FixedGridParams fixed{};          ///< params when model == kFixedGrid
 };
 
+/// @brief Everything a Floorplanner run depends on; two runs with equal
+/// options produce identical solutions regardless of FICON_THREADS.
 struct FloorplanOptions {
   FloorplanObjective objective{};
   FloorplanEngine engine = FloorplanEngine::kPolishExpression;
@@ -57,7 +61,7 @@ struct FloorplanOptions {
   /// Multiplies moves_per_temperature (which itself defaults to
   /// 10 * module_count when left at 0). FICON_SCALE maps here.
   double effort = 1.0;
-  std::uint64_t seed = 1;
+  std::uint64_t seed = 1;  ///< root of every RNG stream of the run
 };
 
 /// Metrics of one packed floorplan under a fixed objective.
@@ -88,26 +92,39 @@ struct TemperatureSnapshot {
   FloorplanMetrics metrics;
 };
 
+/// @brief One simulated-annealing floorplanning engine bound to a netlist
+/// and an objective.
+///
+/// Not internally synchronized — construct one instance per thread (the
+/// seed sweep in exp/experiment.hpp does exactly that). The congestion
+/// models it calls are themselves parallel over the global ThreadPool;
+/// when the sweep already owns the pool those nested evaluations run
+/// inline (see util/thread_pool.hpp).
 class Floorplanner {
  public:
+  /// @param netlist circuit to place; must outlive the Floorplanner.
+  /// @param options objective, engine, schedule and seed (copied).
   Floorplanner(const Netlist& netlist, FloorplanOptions options);
 
+  /// Per-temperature observer (Experiment 2 / Figure 9 hook).
   using SnapshotFn = std::function<void(const TemperatureSnapshot&)>;
 
-  /// Run one annealing optimization; deterministic in options.seed.
+  /// @brief Run one annealing optimization; deterministic in options.seed.
+  /// @param snapshot optional per-temperature callback.
+  /// @return best solution found, with metrics and annealing statistics.
   FloorplanSolution run(const SnapshotFn& snapshot = {}) const;
 
-  /// Pack and score a single expression under this objective (exposed for
-  /// tests, examples and the snapshot path).
+  /// @brief Pack and score a single expression under this objective
+  /// (exposed for tests, examples and the snapshot path).
   FloorplanMetrics evaluate(const PolishExpression& expr) const;
 
-  /// Same for a sequence pair (kSequencePair engine).
+  /// @brief Same for a sequence pair (kSequencePair engine).
   FloorplanMetrics evaluate(const SequencePair& pair) const;
 
-  /// Score an already-packed placement under this objective.
+  /// @brief Score an already-packed placement under this objective.
   FloorplanMetrics evaluate_placement(const Placement& placement) const;
 
-  /// Pack only (no congestion): cheap geometric evaluation.
+  /// @brief Pack only (no congestion): cheap geometric evaluation.
   SlicingResult pack(const PolishExpression& expr) const {
     return packer_.pack(expr);
   }

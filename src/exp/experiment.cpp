@@ -4,6 +4,7 @@
 
 #include "route/two_pin.hpp"
 #include "util/env.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ficon {
 
@@ -48,17 +49,24 @@ SeedSweep run_seed_sweep(const Netlist& netlist, const FloorplanOptions& base,
                          int seeds, const FixedGridModel& judge) {
   FICON_REQUIRE(seeds >= 1, "need at least one seed");
   SeedSweep sweep;
-  sweep.runs.reserve(static_cast<std::size_t>(seeds));
-  for (int s = 0; s < seeds; ++s) {
+  sweep.runs.resize(static_cast<std::size_t>(seeds));
+  // Independent annealing runs fan out across the pool, one block per
+  // seed. Each run's RNG stream is derived from the seed index alone
+  // (SplitMix64 expansion), each writes only its own slot, and each uses a
+  // private copy of the judging model — so FICON_SEEDS=N produces the same
+  // N solutions in the same order at every FICON_THREADS setting. Nested
+  // model evaluations inside a run execute inline (see thread_pool.hpp).
+  ThreadPool::global().run(seeds, [&](int s) {
     FloorplanOptions options = base;
     options.seed = SplitMix64(base.seed + static_cast<std::uint64_t>(s)).next();
     const Floorplanner planner(netlist, options);
     JudgedRun run;
     run.solution = planner.run();
     const auto nets = decompose_to_two_pin(netlist, run.solution.placement);
-    run.judging_cost = judge.cost(nets, run.solution.placement.chip);
-    sweep.runs.push_back(std::move(run));
-  }
+    const FixedGridModel local_judge(judge.params());
+    run.judging_cost = local_judge.cost(nets, run.solution.placement.chip);
+    sweep.runs[static_cast<std::size_t>(s)] = std::move(run);
+  });
   return sweep;
 }
 
@@ -74,9 +82,10 @@ ExperimentConfig experiment_config_from_env() {
 
 void print_scale_banner(const ExperimentConfig& config) {
   std::cout << "# seeds=" << config.seeds << " (paper: 20), SA scale="
-            << config.scale
-            << " (paper ~1.0); set FICON_SEEDS / FICON_SCALE / "
-               "FICON_CIRCUITS to rescale\n";
+            << config.scale << " (paper ~1.0), threads="
+            << ThreadPool::global().threads()
+            << "; set FICON_SEEDS / FICON_SCALE / FICON_CIRCUITS / "
+               "FICON_THREADS to rescale\n";
 }
 
 }  // namespace ficon

@@ -5,7 +5,8 @@
 // active cost function). This module runs the sweep, attaches the judging
 // model's verdict to every run (the referee of all three experiments), and
 // aggregates. FICON_SEEDS / FICON_SCALE / FICON_CIRCUITS scale the sweeps
-// (see util/env.hpp).
+// (see util/env.hpp); FICON_THREADS fans the independent runs out across
+// the global thread pool without changing any result (util/thread_pool.hpp).
 #pragma once
 
 #include <vector>
@@ -34,8 +35,18 @@ struct SeedSweep {
   double mean_judging() const;
 };
 
-/// Run `seeds` independent annealing runs (seeds 1..n expanded through
-/// SplitMix64) and judge each solution with `judge`.
+/// @brief Run `seeds` independent annealing runs (seeds 1..n expanded
+/// through SplitMix64) and judge each solution with `judge`.
+///
+/// The runs fan out across the global ThreadPool (FICON_THREADS). Per-seed
+/// RNG streams are derived from the seed index alone and each run lands in
+/// its seed-ordered slot, so the sweep — including best() and every mean —
+/// is identical at every thread count.
+///
+/// @param netlist circuit to floorplan (shared read-only across threads).
+/// @param base    options template; per-run seeds are derived from base.seed.
+/// @param seeds   number of independent runs (>= 1).
+/// @param judge   referee model; each run judges with a private copy.
 SeedSweep run_seed_sweep(const Netlist& netlist, const FloorplanOptions& base,
                          int seeds, const FixedGridModel& judge);
 

@@ -6,9 +6,10 @@
 // log space; exact integer binomials are only used for small arguments
 // (tests, the Figure 6 worked example).
 //
-// The table grows on demand with amortized doubling. The library is
-// single-threaded by design (an annealing run is a serial Markov chain);
-// the table is not synchronized.
+// The table grows on demand with amortized doubling. It is NOT
+// synchronized: the parallel evaluators give every worker thread its own
+// thread_local table (values are pure functions of n, so duplication is
+// harmless), which keeps the hot read path free of atomics.
 #pragma once
 
 #include <cmath>

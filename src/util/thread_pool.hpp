@@ -1,0 +1,249 @@
+// Deterministic fork-join thread pool for the evaluation hot paths.
+//
+// Design constraints, in priority order:
+//
+//  1. **Bit-exact determinism across thread counts.** Every parallel
+//     computation in ficon is expressed as a fixed set of independent
+//     *blocks* whose count and boundaries depend only on the problem size
+//     (never on the thread count), and whose results are reduced in block
+//     order on the calling thread. Which worker executes which block is
+//     scheduling noise; the reduced result is identical from
+//     `FICON_THREADS=1` to `FICON_THREADS=64`.
+//  2. **Cheap dispatch.** Congestion evaluation runs inside the annealing
+//     inner loop, so a fork-join must not spawn threads. Workers are
+//     long-lived `std::jthread`s parked on a condition variable; a
+//     dispatch is one notify_all plus one atomic per block.
+//  3. **Safe nesting.** The seed-sweep fans annealing runs out across the
+//     pool, and each run calls the (also parallel) congestion models.
+//     A `run()` issued from inside a pool task executes inline on the
+//     calling thread instead of deadlocking on the pool — the outer
+//     fan-out already owns all the parallelism.
+//
+// Sizing: `FICON_THREADS` (or `ThreadPool::set_global_threads()`), default
+// `std::thread::hardware_concurrency()`. A pool of size 1 has no worker
+// threads at all; every block runs inline on the caller.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/env.hpp"
+
+namespace ficon {
+
+/// @brief Fixed-size fork-join pool. One job at a time; blocks are handed
+/// to workers through an atomic counter (dynamic load balancing), and the
+/// caller participates in the work.
+class ThreadPool {
+ public:
+  /// @param threads total worker count including the calling thread;
+  ///   values < 1 are clamped to 1 (purely inline execution).
+  explicit ThreadPool(int threads) : thread_count_(threads < 1 ? 1 : threads) {
+    workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));
+    for (int i = 0; i < thread_count_ - 1; ++i) {
+      workers_.emplace_back(
+          [this](std::stop_token stop) { worker_loop(stop); });
+    }
+  }
+
+  ~ThreadPool() {
+    for (std::jthread& w : workers_) w.request_stop();
+    cv_.notify_all();
+    // std::jthread joins on destruction.
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that participate in a run (workers + caller).
+  int threads() const { return thread_count_; }
+
+  /// @brief Execute `fn(b)` for every block b in [0, blocks) and wait for
+  /// completion. Blocks must be independent; any deterministic reduction
+  /// over their results is the caller's job (do it in block order).
+  ///
+  /// Runs inline — preserving block order 0..blocks-1 — when the pool has
+  /// one thread, when there is a single block, or when called from inside
+  /// another run() (nested parallelism collapses to the outer level).
+  /// The first exception thrown by a block is rethrown on the caller after
+  /// all blocks finished.
+  void run(int blocks, const std::function<void(int)>& fn) {
+    FICON_REQUIRE(blocks >= 0, "negative block count");
+    if (blocks == 0) return;
+    if (blocks == 1 || thread_count_ == 1 || inside_run()) {
+      for (int b = 0; b < blocks; ++b) fn(b);
+      return;
+    }
+
+    Job job;
+    job.fn = &fn;
+    job.blocks = blocks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      ++epoch_;
+    }
+    cv_.notify_all();
+
+    {
+      const InsideRunGuard guard;
+      drain(job);  // the caller is a full participant
+    }
+    {
+      // Wait until every block finished AND every worker that picked this
+      // job up has left drain() — only then is the stack-allocated Job
+      // safe to destroy.
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return job.done.load() == blocks && job.active.load() == 0;
+      });
+      job_ = nullptr;
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+  /// @brief Process-wide pool, lazily sized from `FICON_THREADS` (default:
+  /// hardware_concurrency) on first use.
+  static ThreadPool& global() {
+    std::lock_guard<std::mutex> lock(global_mu());
+    std::unique_ptr<ThreadPool>& pool = global_slot();
+    if (!pool) pool = std::make_unique<ThreadPool>(env_threads());
+    return *pool;
+  }
+
+  /// @brief Rebuild the global pool with an explicit size (benches and the
+  /// determinism tests sweep 1/2/4/8). Must not race with a concurrent
+  /// global() run; call it from the main thread between evaluations.
+  static void set_global_threads(int threads) {
+    std::lock_guard<std::mutex> lock(global_mu());
+    global_slot() = std::make_unique<ThreadPool>(threads);
+  }
+
+  /// Thread count `FICON_THREADS` resolves to (without touching the pool).
+  static int env_threads() {
+    const int requested = env_int("FICON_THREADS", 0);
+    if (requested >= 1) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+ private:
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;
+    int blocks = 0;
+    std::atomic<int> next{0};    ///< next block to claim
+    std::atomic<int> done{0};    ///< blocks finished
+    std::atomic<int> active{0};  ///< workers currently inside drain()
+    std::mutex error_mu;
+    std::exception_ptr error;
+  };
+
+  /// True while this thread executes blocks of some run() — used to route
+  /// nested run() calls to the inline path.
+  static bool& inside_run() {
+    thread_local bool inside = false;
+    return inside;
+  }
+
+  struct InsideRunGuard {
+    InsideRunGuard() { inside_run() = true; }
+    ~InsideRunGuard() { inside_run() = false; }
+  };
+
+  void drain(Job& job) {
+    while (true) {
+      const int b = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= job.blocks) return;
+      try {
+        (*job.fn)(b);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.blocks) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop(std::stop_token stop) {
+    const InsideRunGuard guard;  // nested run() inside a task stays inline
+    std::uint64_t seen = 0;
+    while (true) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, stop, [&] { return epoch_ != seen; });
+        if (stop.stop_requested()) return;
+        seen = epoch_;
+        job = job_;
+        // Register while holding mu_, i.e. while job_ is provably alive:
+        // run() cannot clear job_ (and destroy the Job) until active
+        // returns to zero.
+        if (job != nullptr) job->active.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (job != nullptr) {
+        drain(*job);
+        std::lock_guard<std::mutex> lock(mu_);
+        job->active.fetch_sub(1, std::memory_order_relaxed);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  static std::mutex& global_mu() {
+    static std::mutex mu;
+    return mu;
+  }
+  static std::unique_ptr<ThreadPool>& global_slot() {
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+  }
+
+  const int thread_count_;
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  Job* job_ = nullptr;
+  std::vector<std::jthread> workers_;
+};
+
+/// @brief Number of work blocks for `items` independent work units.
+///
+/// Deterministic in the problem size ONLY — this is what makes parallel
+/// reductions reproducible across thread counts (see the file comment).
+/// 16 blocks saturate an 8-way pool under dynamic scheduling while keeping
+/// per-block partial buffers (the memory cost of deterministic reduction)
+/// bounded.
+inline int deterministic_block_count(std::size_t items, int max_blocks = 16) {
+  if (items == 0) return 0;
+  const std::size_t cap = static_cast<std::size_t>(max_blocks < 1 ? 1 : max_blocks);
+  return static_cast<int>(items < cap ? items : cap);
+}
+
+/// Half-open index range of block `b` out of `blocks` over `items` units.
+/// Blocks partition [0, items) contiguously and in order.
+struct BlockRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+inline BlockRange block_range(std::size_t items, int blocks, int b) {
+  FICON_REQUIRE(blocks > 0 && b >= 0 && b < blocks, "block index out of range");
+  const std::size_t n = static_cast<std::size_t>(blocks);
+  const std::size_t i = static_cast<std::size_t>(b);
+  return BlockRange{items * i / n, items * (i + 1) / n};
+}
+
+}  // namespace ficon

@@ -14,6 +14,7 @@
 #include "route/two_pin.hpp"
 #include "router/global_router.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ficon {
 namespace {
@@ -134,6 +135,36 @@ TEST(Integration, FullStackRouteOfOptimizedFloorplan) {
   double total = 0.0;
   for (const double u : routed.usage()) total += u;
   EXPECT_DOUBLE_EQ(total, expected);
+}
+
+TEST(Integration, SerialAndParallelEvaluationAgreeExactly) {
+  // The serial path (FICON_THREADS=1) is the reference semantics; the
+  // pool-parallel path must reproduce it bit-for-bit (ordered block
+  // reduction, see util/thread_pool.hpp).
+  const Netlist netlist = make_mcnc("hp");
+  const FloorplanSolution sol = Floorplanner(netlist, mini_options()).run();
+  const auto nets = decompose_to_two_pin(netlist, sol.placement);
+
+  ThreadPool::set_global_threads(1);
+  const IrregularCongestionMap serial_ir =
+      IrregularGridModel().evaluate(nets, sol.placement.chip);
+  const CongestionMap serial_fg =
+      make_judging_model(50.0).evaluate(nets, sol.placement.chip);
+
+  ThreadPool::set_global_threads(4);
+  const IrregularCongestionMap parallel_ir =
+      IrregularGridModel().evaluate(nets, sol.placement.chip);
+  const CongestionMap parallel_fg =
+      make_judging_model(50.0).evaluate(nets, sol.placement.chip);
+  ThreadPool::set_global_threads(1);
+
+  ASSERT_EQ(parallel_ir.cell_count(), serial_ir.cell_count());
+  for (int iy = 0; iy < serial_ir.ny(); ++iy) {
+    for (int ix = 0; ix < serial_ir.nx(); ++ix) {
+      ASSERT_EQ(parallel_ir.flow(ix, iy), serial_ir.flow(ix, iy));
+    }
+  }
+  ASSERT_EQ(parallel_fg.values(), serial_fg.values());
 }
 
 TEST(Integration, TerminalsShapeCongestionAtBoundary) {

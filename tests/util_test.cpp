@@ -1,11 +1,17 @@
-// Tests for RNG determinism, statistics helpers and environment knobs.
+// Tests for RNG determinism, statistics helpers, environment knobs and the
+// fork-join thread pool.
+#include <atomic>
 #include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ficon {
 namespace {
@@ -133,6 +139,92 @@ TEST(Env, ParsesAndFallsBack) {
   ::unsetenv("FICON_TEST_BAD");
   ::unsetenv("FICON_TEST_DBL");
   ::unsetenv("FICON_TEST_LIST");
+}
+
+TEST(ThreadPool, RunsEveryBlockExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), std::max(1, threads));
+    constexpr int kBlocks = 64;
+    std::vector<std::atomic<int>> hits(kBlocks);
+    pool.run(kBlocks, [&](int b) { hits[static_cast<std::size_t>(b)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.run(17, [&](int b) { sum += b; });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPool, NestedRunExecutesInlineInBlockOrder) {
+  ThreadPool pool(4);
+  std::atomic<bool> ordered{true};
+  pool.run(4, [&](int) {
+    // A nested run() from inside a pool task must execute inline and in
+    // block order (no deadlock, no interleaving within this task).
+    std::vector<int> seen;
+    pool.run(8, [&](int inner) { seen.push_back(inner); });
+    std::vector<int> want(8);
+    std::iota(want.begin(), want.end(), 0);
+    if (seen != want) ordered = false;
+  });
+  EXPECT_TRUE(ordered.load());
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run(16,
+               [&](int b) {
+                 if (b % 3 == 0) throw std::runtime_error("block failed");
+                 completed++;
+               }),
+      std::runtime_error);
+  // Non-throwing blocks all still ran (failure does not cancel the job).
+  EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.run(5, [&](int b) { order.push_back(b); });  // no synchronization
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, DeterministicBlocking) {
+  // Block layout depends on the item count only — the invariant behind
+  // thread-count-independent reductions.
+  EXPECT_EQ(deterministic_block_count(0), 0);
+  EXPECT_EQ(deterministic_block_count(1), 1);
+  EXPECT_EQ(deterministic_block_count(7), 7);
+  EXPECT_EQ(deterministic_block_count(1000), 16);
+  for (const std::size_t items : {1ul, 5ul, 16ul, 1000ul}) {
+    const int blocks = deterministic_block_count(items);
+    std::size_t covered = 0;
+    for (int b = 0; b < blocks; ++b) {
+      const BlockRange r = block_range(items, blocks, b);
+      EXPECT_EQ(r.begin, covered);  // contiguous, ordered partition
+      EXPECT_LE(r.end, items);
+      covered = r.end;
+    }
+    EXPECT_EQ(covered, items);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolResizable) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().threads(), 3);
+  std::atomic<int> sum{0};
+  ThreadPool::global().run(10, [&](int b) { sum += b; });
+  EXPECT_EQ(sum.load(), 45);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().threads(), 1);
 }
 
 }  // namespace
