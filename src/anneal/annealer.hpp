@@ -8,8 +8,15 @@
 //     so the initial acceptance probability is `initial_accept`,
 //   * T <- cooling * T after `moves_per_temperature` proposed moves,
 //   * stop when T drops below stop_temperature_ratio * T0 or when
-//     `max_stall_temperatures` consecutive temperatures brought no
-//     improvement of the best state.
+//     `max_stall_temperatures` consecutive temperatures made no progress.
+//
+// "Progress" for the stall counter means the temperature either produced a
+// new global best *or* left `current_cost` strictly below where the
+// temperature started. The second clause matters: after a large uphill
+// excursion the walk can spend many temperatures descending back toward
+// (but not yet beating) the global best — that descent is productive search
+// and must not trip the early stop. Only temperatures where the walk is
+// genuinely treading water count toward the stall limit.
 //
 // A per-temperature snapshot hook exposes the locally-optimized
 // intermediate solutions — Experiment 2 (Figure 9) plots exactly these.
@@ -81,6 +88,7 @@ class Annealer {
     for (int step = 0; t > t_stop && stall < options_.max_stall_temperatures;
          ++step) {
       bool improved = false;
+      const double cost_at_start = current_cost;
       for (int mv = 0; mv < options_.moves_per_temperature; ++mv) {
         State candidate = neighbor_(current, rng);
         const double candidate_cost = cost_(candidate);
@@ -99,7 +107,10 @@ class Annealer {
       }
       ++result.stats.temperature_steps;
       if (snapshot) snapshot(step, t, current, current_cost);
-      stall = improved ? 0 : stall + 1;
+      // See the header comment: descending back from an uphill excursion
+      // (current_cost < cost_at_start) resets the stall counter even when
+      // the global best did not move.
+      stall = (improved || current_cost < cost_at_start) ? 0 : stall + 1;
       t *= options_.cooling;
     }
     result.stats.final_temperature = t;

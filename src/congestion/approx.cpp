@@ -86,16 +86,22 @@ std::optional<double> ApproxRegionProbability::theorem1(
   const double delta = options_.continuity_correction ? 0.5 : 0.0;
   double prob = 0.0;
   if (region.yhi < g2 - 1) {
+    // A zero-width span integrated over the literal [x1, x2] = [x, x] would
+    // contribute nothing and silently drop the column's whole top-exit
+    // mass; force the +-1/2 widening there (the unit-width integral around
+    // x is exactly the continuity-corrected one-term sum).
+    const double dx = region.xlo == region.xhi ? 0.5 : delta;
     const auto top = simpson_optional(
         [&](double x) { return top_exit_term_approx(g1, g2, x, region.yhi); },
-        region.xlo - delta, region.xhi + delta, options_.simpson_panels);
+        region.xlo - dx, region.xhi + dx, options_.simpson_panels);
     if (!top) return std::nullopt;
     prob += *top;
   }
   if (region.xhi < g1 - 1) {
+    const double dy = region.ylo == region.yhi ? 0.5 : delta;
     const auto right = simpson_optional(
         [&](double y) { return right_exit_term_approx(g1, g2, region.xhi, y); },
-        region.ylo - delta, region.yhi + delta, options_.simpson_panels);
+        region.ylo - dy, region.yhi + dy, options_.simpson_panels);
     if (!right) return std::nullopt;
     prob += *right;
   }
@@ -122,15 +128,19 @@ double ApproxRegionProbability::region_probability(
     return 1.0;
   }
   const GridRect canonical = s.type2 ? mirror_region_y(s.g2, r) : r;
+  // Every path below evaluates the clamped rect `r`. The exact fallback
+  // re-clips and mirrors internally, so feeding it the raw `region` happens
+  // to give the same answer today — but the contract here is that Theorem 1
+  // and the fallback score the *same* rect, so pass `r` explicitly.
   if (s.g1 + s.g2 < options_.small_range_threshold ||
       std::min(s.g1, s.g2) < options_.narrow_range_threshold ||
       r.nx() + r.ny() <= options_.small_region_threshold) {
-    return exact_.region_probability_exact(s, region);
+    return exact_.region_probability_exact(s, r);
   }
   if (const auto approx = theorem1(s.g1, s.g2, canonical)) {
     return *approx;
   }
-  return exact_.region_probability_exact(s, region);
+  return exact_.region_probability_exact(s, r);
 }
 
 }  // namespace ficon

@@ -23,14 +23,28 @@ int CutLines::nearest(const std::vector<double>& lines, double v) {
   return static_cast<int>((take_prev ? prev : it) - lines.begin());
 }
 
-std::vector<double> merge_lines(std::vector<double> coords, double lo,
-                                double hi, double min_gap) {
+namespace {
+
+// Interior cluster: coordinate sum and count; its representative is the
+// (weighted) mean of every coordinate merged into it.
+struct Cluster {
+  double sum = 0.0;
+  double count = 0.0;
+  double rep() const { return sum / count; }
+};
+
+/// merge_lines() with caller-owned scratch: sorts `coords` in place, uses
+/// `kept` as the cluster buffer and writes the merged lines to `merged`.
+/// build_cutlines() runs once per proposed annealing move, so it feeds
+/// thread_local buffers here instead of allocating fresh ones per call.
+void merge_lines_into(std::vector<double>& coords, double lo, double hi,
+                      double min_gap, std::vector<Cluster>& kept,
+                      std::vector<double>& merged) {
   FICON_REQUIRE(lo < hi, "degenerate axis");
   FICON_REQUIRE(min_gap >= 0.0, "negative merge gap");
   std::sort(coords.begin(), coords.end());
 
-  std::vector<double> merged;
-  merged.push_back(lo);
+  kept.clear();
   std::size_t i = 0;
   while (i < coords.size()) {
     // Skip coordinates at/outside the pinned boundaries or hugging lo.
@@ -43,30 +57,60 @@ std::vector<double> merge_lines(std::vector<double> coords, double lo,
     // first coordinate is always consumed, so the loop advances even for
     // min_gap == 0 (no merging).
     const double start = coords[i];
-    double sum = 0.0;
-    std::size_t count = 0;
+    Cluster cluster;
     do {
-      sum += coords[i];
-      ++count;
+      cluster.sum += coords[i];
+      cluster.count += 1.0;
       ++i;
     } while (i < coords.size() && coords[i] - start < min_gap &&
              coords[i] < hi - min_gap);
-    const double rep = sum / static_cast<double>(count);
-    // The previous representative is at least min_gap below `start` by
-    // construction of the clusters, but guard against pathological input.
-    if (rep - merged.back() > min_gap * 0.5) {
-      merged.push_back(rep);
+    // Chained clusters can still land representatives closer than min_gap
+    // (cluster A ends where cluster B starts, but their means are nearer).
+    // Pool backwards until the new representative clears the previous one
+    // by at least min_gap, so every interior IR-cell is at least min_gap
+    // wide. Duplicates (gap 0) pool even when min_gap == 0.
+    while (!kept.empty()) {
+      const double gap = cluster.rep() - kept.back().rep();
+      if (gap >= min_gap && gap > 0.0) break;
+      cluster.sum += kept.back().sum;
+      cluster.count += kept.back().count;
+      kept.pop_back();
     }
+    kept.push_back(cluster);
+  }
+
+  merged.clear();
+  merged.push_back(lo);
+  for (const Cluster& c : kept) {
+    // Pooling can drag a representative into a boundary's exclusion zone;
+    // such lines are swallowed by the boundary like their raw coordinates.
+    const double rep = c.rep();
+    if (rep > lo + min_gap && rep < hi - min_gap) merged.push_back(rep);
   }
   merged.push_back(hi);
+}
+
+}  // namespace
+
+std::vector<double> merge_lines(std::vector<double> coords, double lo,
+                                double hi, double min_gap) {
+  std::vector<Cluster> kept;
+  std::vector<double> merged;
+  merge_lines_into(coords, lo, hi, min_gap, kept, merged);
   return merged;
 }
 
 CutLines build_cutlines(std::span<const TwoPinNet> nets, const Rect& chip,
                         double min_dx, double min_dy) {
   FICON_REQUIRE(chip.is_proper(), "chip must have positive area");
-  std::vector<double> xs;
-  std::vector<double> ys;
+  // Raw coordinate and cluster buffers are per-thread scratch: this runs
+  // once per proposed annealing move, and the raw line count (2 per net
+  // per axis) dwarfs the merged output that the CutLines object owns.
+  thread_local std::vector<double> xs;
+  thread_local std::vector<double> ys;
+  thread_local std::vector<Cluster> kept;
+  xs.clear();
+  ys.clear();
   xs.reserve(nets.size() * 2);
   ys.reserve(nets.size() * 2);
   for (const TwoPinNet& net : nets) {
@@ -76,8 +120,11 @@ CutLines build_cutlines(std::span<const TwoPinNet> nets, const Rect& chip,
     ys.push_back(std::clamp(r.ylo, chip.ylo, chip.yhi));
     ys.push_back(std::clamp(r.yhi, chip.ylo, chip.yhi));
   }
-  return CutLines(merge_lines(std::move(xs), chip.xlo, chip.xhi, min_dx),
-                  merge_lines(std::move(ys), chip.ylo, chip.yhi, min_dy));
+  std::vector<double> merged_x;
+  std::vector<double> merged_y;
+  merge_lines_into(xs, chip.xlo, chip.xhi, min_dx, kept, merged_x);
+  merge_lines_into(ys, chip.ylo, chip.yhi, min_dy, kept, merged_y);
+  return CutLines(std::move(merged_x), std::move(merged_y));
 }
 
 }  // namespace ficon

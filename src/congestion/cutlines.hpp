@@ -89,8 +89,12 @@ CutLines build_cutlines(std::span<const TwoPinNet> nets, const Rect& chip,
 /// @param coords candidate interior line coordinates (any order).
 /// @param lo,hi  pinned chip boundaries; interior lines within min_gap of
 ///               a boundary collapse into the boundary.
-/// @param min_gap interior clusters within this gap collapse to their mean.
-/// @return sorted merged coordinates, lo and hi included.
+/// @param min_gap interior clusters within this gap collapse to their
+///               (weighted) mean; chained clusters whose means still land
+///               closer than min_gap are pooled until the invariant holds.
+/// @return sorted merged coordinates, lo and hi included; every
+///         consecutive pair is at least min_gap apart, so no IR-cell is
+///         narrower than the merge gap.
 std::vector<double> merge_lines(std::vector<double> coords, double lo,
                                 double hi, double min_gap);
 

@@ -1,10 +1,12 @@
 #include "congestion/irregular_grid.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 #include <ostream>
 
+#include "congestion/score_cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ficon {
@@ -26,14 +28,24 @@ double IrregularCongestionMap::top_fraction_cost(double fraction) const {
     }
   }
   if (cells.empty() || chip_area <= 0.0) return 0.0;
-  std::sort(cells.begin(), cells.end(),
-            [](const CellScore& a, const CellScore& b) {
-              return a.density > b.density;
-            });
+  // Only the densest cells covering `fraction` of the chip area are ever
+  // visited, so draw them from a max-heap instead of fully sorting: the
+  // budget is typically a small fraction, making this O(n + k log n).
+  // Cells of equal density may surface in a different order than a full
+  // sort would give, but equal-density ties contribute density * (area
+  // taken) regardless of order, so the cost is unaffected.
+  const auto by_density = [](const CellScore& a, const CellScore& b) {
+    return a.density < b.density;
+  };
+  std::make_heap(cells.begin(), cells.end(), by_density);
+  auto heap_end = cells.end();
   const double budget = fraction * chip_area;
   double used = 0.0;
   double weighted = 0.0;
-  for (const CellScore& c : cells) {
+  while (heap_end != cells.begin()) {
+    std::pop_heap(cells.begin(), heap_end, by_density);
+    --heap_end;
+    const CellScore& c = *heap_end;
     const double take = std::min(c.area, budget - used);
     if (take <= 0.0) break;
     weighted += c.density * take;
@@ -90,12 +102,46 @@ struct NetOnGrid {
   int ix1, ix2, iy1, iy2;  ///< covering cut-line indices (cells ix1..ix2-1)
   double sx1, sy1;         ///< snapped range origin (um)
   NetGridShape shape;
+
+  int ncx() const { return ix2 - ix1; }  ///< covered IR columns
+  int ncy() const { return iy2 - iy1; }  ///< covered IR rows
 };
 
-/// Banded exact evaluation (IrEvalStrategy::kBandedExact).
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Fingerprint of every option that influences a memoized probability
+/// matrix. The ScoreMemo clears itself when this changes, so cached values
+/// can never leak across strategies or Theorem-1 knob settings.
+std::uint64_t scoring_fingerprint(const IrregularGridParams& p) {
+  std::uint64_t h = 0;
+  h = mix(h, static_cast<std::uint64_t>(p.strategy));
+  h = mix(h, std::bit_cast<std::uint64_t>(p.grid_w));
+  h = mix(h, std::bit_cast<std::uint64_t>(p.grid_h));
+  h = mix(h, static_cast<std::uint64_t>(p.approx.continuity_correction));
+  h = mix(h, static_cast<std::uint64_t>(p.approx.simpson_panels));
+  h = mix(h, static_cast<std::uint64_t>(p.approx.small_range_threshold));
+  h = mix(h, static_cast<std::uint64_t>(p.approx.small_region_threshold));
+  h = mix(h, static_cast<std::uint64_t>(p.approx.narrow_range_threshold));
+  return h;
+}
+
+/// Per-block net scorer (algorithm steps 3.1-3.3).
 ///
-/// Works in the canonical type I frame (source cell (0,0), sink
-/// (g1-1,g2-1); type II nets are y-mirrored). Formula 3 for an IR-cell is
+/// For every net it derives the covered IR-cell window and each covered
+/// column/row's local fine-lattice span, then computes the net's ncx x ncy
+/// crossing-probability matrix and accumulates it into the block's partial
+/// flow grid. The matrix is a pure function of the signature
+/// (g1, g2, type2, ncx, ncy, spans), so it is memoized in a thread_local
+/// ScoreMemo: during annealing, nets whose modules did not move re-present
+/// identical signatures and skip straight to accumulation. Hit and miss
+/// produce bit-identical matrices, so memoization cannot perturb results.
+///
+/// Banded exact evaluation (IrEvalStrategy::kBandedExact) works in the
+/// canonical type I frame (source cell (0,0), sink (g1-1,g2-1); type II
+/// nets are y-mirrored). Formula 3 for an IR-cell is
 ///   P = sum_x in [lx1..lx2] T(x, Y)  +  sum_y in [cy1..cy2] R(X, y)
 /// with T/R the normalized top/right exit terms, Y the cell's top fine row
 /// and X its right fine column. Rather than evaluating each cell's sums
@@ -107,39 +153,179 @@ struct NetOnGrid {
 /// so the only transcendental call is one exp() per band. Cells covering a
 /// pin are exactly 1 (every route passes a pin cell), which doubles as the
 /// paper's step 3.1.
-class BandedEvaluator {
+class NetScorer {
  public:
-  BandedEvaluator(LogFactorialTable& table, const IrregularGridParams& params)
-      : table_(&table), params_(&params) {}
+  NetScorer(LogFactorialTable& table, const IrregularGridParams& params,
+            ScoreMemo& memo)
+      : table_(&table),
+        params_(&params),
+        memo_(&memo),
+        exact_(table),
+        approx_(exact_, params.approx) {}
 
-  void accumulate(const FlowGrid& out, const CutLines& cl,
-                  const NetOnGrid& net) {
+  void score(const TwoPinNet& net, const CutLines& cl, const Rect& chip,
+             const FlowGrid& out) {
+    const Rect range = net.routing_range().intersection(chip);
+    if (!range.valid()) return;  // net fully outside the chip window
+
+    // Snap the routing range to the merged cut lines (step 2's "modify the
+    // corresponding routing ranges").
+    NetOnGrid on_grid;
+    on_grid.ix1 = cl.nearest_x(range.xlo);
+    on_grid.ix2 = cl.nearest_x(range.xhi);
+    on_grid.iy1 = cl.nearest_y(range.ylo);
+    on_grid.iy2 = cl.nearest_y(range.yhi);
+    on_grid.sx1 = cl.xs()[static_cast<std::size_t>(on_grid.ix1)];
+    on_grid.sy1 = cl.ys()[static_cast<std::size_t>(on_grid.iy1)];
+    const double sx2 = cl.xs()[static_cast<std::size_t>(on_grid.ix2)];
+    const double sy2 = cl.ys()[static_cast<std::size_t>(on_grid.iy2)];
+
+    // Degenerate (line/point) snapped ranges: the single route runs exactly
+    // ON a cut line, i.e. on the shared boundary of the two adjacent IR-cell
+    // columns (rows). Charging only one side would systematically bias
+    // congestion toward that side, so split the unit crossing probability
+    // 0.5/0.5 across the two touching cells per collapsed axis — or give
+    // the single neighbor weight 1.0 when the line is a chip boundary.
+    // Weights multiply when both axes collapse (a point net on a cut-line
+    // crossing charges its four corner cells 0.25 each).
+    if (on_grid.ix1 == on_grid.ix2 || on_grid.iy1 == on_grid.iy2) {
+      int cx_lo, cx_hi;
+      double wx = 1.0;
+      if (on_grid.ix1 == on_grid.ix2) {
+        const bool left = on_grid.ix1 > 0;
+        const bool right = on_grid.ix1 < cl.nx();
+        cx_lo = left ? on_grid.ix1 - 1 : on_grid.ix1;
+        cx_hi = right ? on_grid.ix1 : on_grid.ix1 - 1;
+        if (left && right) wx = 0.5;
+      } else {
+        cx_lo = on_grid.ix1;
+        cx_hi = on_grid.ix2 - 1;
+      }
+      int cy_lo, cy_hi;
+      double wy = 1.0;
+      if (on_grid.iy1 == on_grid.iy2) {
+        const bool below = on_grid.iy1 > 0;
+        const bool above = on_grid.iy1 < cl.ny();
+        cy_lo = below ? on_grid.iy1 - 1 : on_grid.iy1;
+        cy_hi = above ? on_grid.iy1 : on_grid.iy1 - 1;
+        if (below && above) wy = 0.5;
+      } else {
+        cy_lo = on_grid.iy1;
+        cy_hi = on_grid.iy2 - 1;
+      }
+      for (int iy = cy_lo; iy <= cy_hi; ++iy) {
+        for (int ix = cx_lo; ix <= cx_hi; ++ix) {
+          out.add(ix, iy, wx * wy);
+        }
+      }
+      return;
+    }
+
+    // Fine lattice of the snapped routing range.
+    on_grid.shape.g1 = std::max(
+        1, static_cast<int>(
+               std::ceil((sx2 - on_grid.sx1) / params_->grid_w - 1e-9)));
+    on_grid.shape.g2 = std::max(
+        1, static_cast<int>(
+               std::ceil((sy2 - on_grid.sy1) / params_->grid_h - 1e-9)));
+    // Type II iff the left pin is the upper pin (Figure 1).
+    const Point& left = net.a.x <= net.b.x ? net.a : net.b;
+    const Point& right = net.a.x <= net.b.x ? net.b : net.a;
+    on_grid.shape.type2 = !on_grid.shape.degenerate() && left.y > right.y;
+
+    // Unmirrored local fine spans of every covered IR column/row. They are
+    // both the evaluation input and (with the shape) the memo signature.
+    const int ncx = on_grid.ncx();
+    const int ncy = on_grid.ncy();
+    lx1_.resize(static_cast<std::size_t>(ncx));
+    lx2_.resize(static_cast<std::size_t>(ncx));
+    for (int cx = 0; cx < ncx; ++cx) {
+      const Rect cell = cl.cell_rect(on_grid.ix1 + cx, on_grid.iy1);
+      lx1_[static_cast<std::size_t>(cx)] =
+          local_lo(cell.xlo, on_grid.sx1, params_->grid_w, on_grid.shape.g1);
+      lx2_[static_cast<std::size_t>(cx)] =
+          local_hi(cell.xhi, on_grid.sx1, params_->grid_w, on_grid.shape.g1);
+    }
+    ly1_.resize(static_cast<std::size_t>(ncy));
+    ly2_.resize(static_cast<std::size_t>(ncy));
+    for (int cy = 0; cy < ncy; ++cy) {
+      const Rect cell = cl.cell_rect(on_grid.ix1, on_grid.iy1 + cy);
+      ly1_[static_cast<std::size_t>(cy)] =
+          local_lo(cell.ylo, on_grid.sy1, params_->grid_h, on_grid.shape.g2);
+      ly2_[static_cast<std::size_t>(cy)] =
+          local_hi(cell.yhi, on_grid.sy1, params_->grid_h, on_grid.shape.g2);
+    }
+
+    // Memoization split, driven by measurement: under the region
+    // strategies a per-cell evaluation costs microseconds, so the matrix
+    // memo pays for its lookup. Under kBandedExact a full recompute costs
+    // a few hundred nanoseconds — cheaper than pulling a ~30-int key plus
+    // matrix through the cache hierarchy — so the banded path always
+    // recomputes (degenerate shapes fall back to fill_regions and stay
+    // memoized). Hits and misses are bit-identical, so the split is
+    // invisible in results.
+    const bool banded = params_->strategy == IrEvalStrategy::kBandedExact &&
+                        !on_grid.shape.degenerate();
+    const std::vector<double>* probs = nullptr;
+    if (memo_->enabled() && !banded) {
+      build_key(on_grid);
+      probs = memo_->find(key_);
+    }
+    if (probs == nullptr) {
+      if (banded) {
+        fill_banded(on_grid);
+      } else {
+        fill_regions(on_grid);
+        if (memo_->enabled()) memo_->insert(key_, probs_);
+      }
+      probs = &probs_;
+    }
+
+    for (int cy = 0; cy < ncy; ++cy) {
+      for (int cx = 0; cx < ncx; ++cx) {
+        out.add(on_grid.ix1 + cx, on_grid.iy1 + cy,
+                (*probs)[index(cx, cy, ncx)]);
+      }
+    }
+  }
+
+ private:
+  static std::size_t index(int cx, int cy, int ncx) {
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(ncx) +
+           static_cast<std::size_t>(cx);
+  }
+
+  void build_key(const NetOnGrid& net) {
+    key_.clear();
+    key_.reserve(5 + lx1_.size() + lx2_.size() + ly1_.size() + ly2_.size());
+    key_.push_back(net.shape.g1);
+    key_.push_back(net.shape.g2);
+    key_.push_back(net.shape.type2 ? 1 : 0);
+    key_.push_back(net.ncx());
+    key_.push_back(net.ncy());
+    key_.insert(key_.end(), lx1_.begin(), lx1_.end());
+    key_.insert(key_.end(), lx2_.begin(), lx2_.end());
+    key_.insert(key_.end(), ly1_.begin(), ly1_.end());
+    key_.insert(key_.end(), ly2_.begin(), ly2_.end());
+  }
+
+  /// Banded exact probabilities for all covered IR-cells of one net,
+  /// pin-override and clamp applied (see the class comment for the math).
+  void fill_banded(const NetOnGrid& net) {
     const int g1 = net.shape.g1;
     const int g2 = net.shape.g2;
     const bool t2 = net.shape.type2;
-    const int ncx = net.ix2 - net.ix1;  // covered IR columns
-    const int ncy = net.iy2 - net.iy1;  // covered IR rows
-    cell_flow_.assign(static_cast<std::size_t>(ncx) *
-                          static_cast<std::size_t>(ncy),
-                      0.0);
+    const int ncx = net.ncx();
+    const int ncy = net.ncy();
+    probs_.assign(static_cast<std::size_t>(ncx) * static_cast<std::size_t>(ncy),
+                  0.0);
 
-    // Local fine spans of every covered IR column/row (canonical frame).
-    col_lx1_.resize(static_cast<std::size_t>(ncx));
-    col_lx2_.resize(static_cast<std::size_t>(ncx));
-    for (int cx = 0; cx < ncx; ++cx) {
-      const Rect cell = cl.cell_rect(net.ix1 + cx, net.iy1);
-      col_lx1_[static_cast<std::size_t>(cx)] =
-          local_lo(cell.xlo, net.sx1, params_->grid_w, g1);
-      col_lx2_[static_cast<std::size_t>(cx)] =
-          local_hi(cell.xhi, net.sx1, params_->grid_w, g1);
-    }
+    // Canonical frame: mirror the y-spans for type II nets.
     row_cy1_.resize(static_cast<std::size_t>(ncy));
     row_cy2_.resize(static_cast<std::size_t>(ncy));
     for (int cy = 0; cy < ncy; ++cy) {
-      const Rect cell = cl.cell_rect(net.ix1, net.iy1 + cy);
-      const int ly1 = local_lo(cell.ylo, net.sy1, params_->grid_h, g2);
-      const int ly2 = local_hi(cell.yhi, net.sy1, params_->grid_h, g2);
-      // Canonical frame: mirror the y-span for type II nets.
+      const int ly1 = ly1_[static_cast<std::size_t>(cy)];
+      const int ly2 = ly2_[static_cast<std::size_t>(cy)];
       row_cy1_[static_cast<std::size_t>(cy)] = t2 ? g2 - 1 - ly2 : ly1;
       row_cy2_[static_cast<std::size_t>(cy)] = t2 ? g2 - 1 - ly1 : ly2;
     }
@@ -164,19 +350,19 @@ class BandedEvaluator {
         }
       }
       for (int cx = 0; cx < ncx; ++cx) {
-        const int lx1 = col_lx1_[static_cast<std::size_t>(cx)];
-        const int lx2 = col_lx2_[static_cast<std::size_t>(cx)];
+        const int lx1 = lx1_[static_cast<std::size_t>(cx)];
+        const int lx2 = lx2_[static_cast<std::size_t>(cx)];
         const double sum = prefix_[static_cast<std::size_t>(lx2)] -
                            (lx1 > 0 ? prefix_[static_cast<std::size_t>(lx1 - 1)]
                                     : 0.0);
-        cell_flow_[index(cx, cy, ncx)] += sum;
+        probs_[index(cx, cy, ncx)] += sum;
       }
     }
 
     // --- Right-exit pass: one prefix-sum column per covered IR column.
     prefix_.resize(static_cast<std::size_t>(std::max(g1, g2)));
     for (int cx = 0; cx < ncx; ++cx) {
-      const int right = col_lx2_[static_cast<std::size_t>(cx)];
+      const int right = lx2_[static_cast<std::size_t>(cx)];
       if (right >= g1 - 1) continue;  // no cell to the right
       double term = std::exp(
           table_->log_choose(g1 - 2 - right + g2 - 1, g2 - 1) - log_total);
@@ -196,115 +382,79 @@ class BandedEvaluator {
         const double sum = prefix_[static_cast<std::size_t>(cy2)] -
                            (cy1 > 0 ? prefix_[static_cast<std::size_t>(cy1 - 1)]
                                     : 0.0);
-        cell_flow_[index(cx, cy, ncx)] += sum;
+        probs_[index(cx, cy, ncx)] += sum;
       }
     }
 
-    // --- Pin override + accumulation into the block's partial grid.
+    // --- Pin override + clamp.
     for (int cy = 0; cy < ncy; ++cy) {
       const int cy1 = row_cy1_[static_cast<std::size_t>(cy)];
       const int cy2 = row_cy2_[static_cast<std::size_t>(cy)];
       for (int cx = 0; cx < ncx; ++cx) {
-        const int lx1 = col_lx1_[static_cast<std::size_t>(cx)];
-        const int lx2 = col_lx2_[static_cast<std::size_t>(cx)];
-        double p = cell_flow_[index(cx, cy, ncx)];
+        const int lx1 = lx1_[static_cast<std::size_t>(cx)];
+        const int lx2 = lx2_[static_cast<std::size_t>(cx)];
+        double& p = probs_[index(cx, cy, ncx)];
         const bool covers_source = lx1 == 0 && cy1 == 0;
         const bool covers_sink = lx2 == g1 - 1 && cy2 == g2 - 1;
         if (covers_source || covers_sink) p = 1.0;
-        out.add(net.ix1 + cx, net.iy1 + cy, std::clamp(p, 0.0, 1.0));
+        p = std::clamp(p, 0.0, 1.0);
       }
     }
   }
 
- private:
-  static std::size_t index(int cx, int cy, int ncx) {
-    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(ncx) +
-           static_cast<std::size_t>(cx);
+  /// Per-region probabilities (kTheorem1 / kExactPerRegion, and the
+  /// degenerate-shape fallback of kBandedExact): steps 3.1-3.3 cell by
+  /// cell.
+  void fill_regions(const NetOnGrid& net) {
+    const int ncx = net.ncx();
+    const int ncy = net.ncy();
+    probs_.assign(static_cast<std::size_t>(ncx) * static_cast<std::size_t>(ncy),
+                  0.0);
+    for (int cy = 0; cy < ncy; ++cy) {
+      for (int cx = 0; cx < ncx; ++cx) {
+        const GridRect region{lx1_[static_cast<std::size_t>(cx)],
+                              ly1_[static_cast<std::size_t>(cy)],
+                              lx2_[static_cast<std::size_t>(cx)],
+                              ly2_[static_cast<std::size_t>(cy)]};
+        probs_[index(cx, cy, ncx)] =
+            params_->strategy == IrEvalStrategy::kTheorem1
+                ? approx_.region_probability(net.shape, region)
+                : (exact_.region_covers_pin(net.shape, region)
+                       ? 1.0
+                       : exact_.region_probability_exact(net.shape, region));
+      }
+    }
   }
 
   LogFactorialTable* table_;
   const IrregularGridParams* params_;
+  ScoreMemo* memo_;
+  PathProbability exact_;
+  ApproxRegionProbability approx_;
   // Scratch buffers reused across the nets of one evaluation block (each
-  // block has its own evaluator, so these are never shared between threads).
-  std::vector<double> cell_flow_;
+  // block has its own scorer, so these are never shared between threads).
+  std::vector<double> probs_;
   std::vector<double> prefix_;
-  std::vector<int> col_lx1_, col_lx2_, row_cy1_, row_cy2_;
+  std::vector<int> lx1_, lx2_, ly1_, ly2_;
+  std::vector<int> row_cy1_, row_cy2_;
+  ScoreMemo::Key key_;
 };
 
-/// Score one net (algorithm steps 3.1-3.3) into a partial flow grid.
-void score_net(const TwoPinNet& net, const CutLines& cl, const Rect& chip,
-               const IrregularGridParams& params, const FlowGrid& out,
-               const PathProbability& exact,
-               const ApproxRegionProbability& approx,
-               BandedEvaluator& banded) {
-  const Rect range = net.routing_range().intersection(chip);
-  if (!range.valid()) return;  // net fully outside the chip window
+/// Per-thread log-factorial and scoring caches: amortized across calls
+/// like single-threaded member caches would be, but race-free. Cache hits
+/// return bit-identical values to misses, so per-thread cache duplication
+/// affects only the hit rate, never the result. Function-scoped accessors
+/// (rather than thread_locals named inside the worker lambda) keep the
+/// lazy-init semantics while giving diagnostics access to the calling
+/// thread's instances.
+LogFactorialTable& scoring_table() {
+  thread_local LogFactorialTable table;
+  return table;
+}
 
-  // Snap the routing range to the merged cut lines (step 2's "modify the
-  // corresponding routing ranges").
-  NetOnGrid on_grid;
-  on_grid.ix1 = cl.nearest_x(range.xlo);
-  on_grid.ix2 = cl.nearest_x(range.xhi);
-  on_grid.iy1 = cl.nearest_y(range.ylo);
-  on_grid.iy2 = cl.nearest_y(range.yhi);
-  on_grid.sx1 = cl.xs()[static_cast<std::size_t>(on_grid.ix1)];
-  on_grid.sy1 = cl.ys()[static_cast<std::size_t>(on_grid.iy1)];
-  const double sx2 = cl.xs()[static_cast<std::size_t>(on_grid.ix2)];
-  const double sy2 = cl.ys()[static_cast<std::size_t>(on_grid.iy2)];
-
-  // Degenerate (line/point) ranges after snapping: the single route
-  // covers its cells with probability 1.
-  if (on_grid.ix1 == on_grid.ix2 || on_grid.iy1 == on_grid.iy2) {
-    const int cx_lo = std::min(on_grid.ix1, cl.nx() - 1);
-    const int cy_lo = std::min(on_grid.iy1, cl.ny() - 1);
-    const int cx_hi =
-        on_grid.ix1 == on_grid.ix2 ? cx_lo : std::max(0, on_grid.ix2 - 1);
-    const int cy_hi =
-        on_grid.iy1 == on_grid.iy2 ? cy_lo : std::max(0, on_grid.iy2 - 1);
-    for (int iy = std::min(cy_lo, cy_hi); iy <= std::max(cy_lo, cy_hi);
-         ++iy) {
-      for (int ix = std::min(cx_lo, cx_hi); ix <= std::max(cx_lo, cx_hi);
-           ++ix) {
-        out.add(ix, iy, 1.0);
-      }
-    }
-    return;
-  }
-
-  // Fine lattice of the snapped routing range.
-  on_grid.shape.g1 = std::max(
-      1, static_cast<int>(std::ceil((sx2 - on_grid.sx1) / params.grid_w - 1e-9)));
-  on_grid.shape.g2 = std::max(
-      1, static_cast<int>(std::ceil((sy2 - on_grid.sy1) / params.grid_h - 1e-9)));
-  // Type II iff the left pin is the upper pin (Figure 1).
-  const Point& left = net.a.x <= net.b.x ? net.a : net.b;
-  const Point& right = net.a.x <= net.b.x ? net.b : net.a;
-  on_grid.shape.type2 = !on_grid.shape.degenerate() && left.y > right.y;
-
-  if (params.strategy == IrEvalStrategy::kBandedExact &&
-      !on_grid.shape.degenerate()) {
-    banded.accumulate(out, cl, on_grid);
-    return;
-  }
-
-  // Steps 3.1-3.3: score every IR-cell covered by the snapped range.
-  for (int iy = on_grid.iy1; iy < on_grid.iy2; ++iy) {
-    for (int ix = on_grid.ix1; ix < on_grid.ix2; ++ix) {
-      const Rect cell = cl.cell_rect(ix, iy);
-      const GridRect region{
-          local_lo(cell.xlo, on_grid.sx1, params.grid_w, on_grid.shape.g1),
-          local_lo(cell.ylo, on_grid.sy1, params.grid_h, on_grid.shape.g2),
-          local_hi(cell.xhi, on_grid.sx1, params.grid_w, on_grid.shape.g1),
-          local_hi(cell.yhi, on_grid.sy1, params.grid_h, on_grid.shape.g2)};
-      const double p =
-          params.strategy == IrEvalStrategy::kTheorem1
-              ? approx.region_probability(on_grid.shape, region)
-              : (exact.region_covers_pin(on_grid.shape, region)
-                     ? 1.0
-                     : exact.region_probability_exact(on_grid.shape, region));
-      out.add(ix, iy, p);
-    }
-  }
+ScoreMemo& scoring_memo() {
+  thread_local ScoreMemo memo;
+  return memo;
 }
 
 }  // namespace
@@ -324,28 +474,39 @@ IrregularCongestionMap IrregularGridModel::evaluate(
   // in block order below. Fixed blocking + ordered reduction make the
   // result bit-identical for every FICON_THREADS setting.
   const int blocks = deterministic_block_count(nets.size());
-  std::vector<std::vector<double>> partial(static_cast<std::size_t>(blocks));
+  // Per-caller-thread partial grids, reused across evaluate() calls (the
+  // annealing loop calls this once per proposed move). Workers only write
+  // the entry of their own block; the vector itself is sized before the
+  // fork and reduced after the join, both on the calling thread. The
+  // worker lambda must go through the local reference: naming the
+  // thread_local directly inside it would resolve to the *worker's*
+  // (empty) instance, not the caller's.
+  thread_local std::vector<std::vector<double>> partial_tls;
+  std::vector<std::vector<double>>& partial = partial_tls;
+  if (partial.size() < static_cast<std::size_t>(blocks)) {
+    partial.resize(static_cast<std::size_t>(blocks));
+  }
   const CutLines& cl = lines;
   const IrregularGridParams& params = params_;
+  const std::uint64_t fingerprint = scoring_fingerprint(params_);
   ThreadPool::global().run(blocks, [&](int b) {
-    // Per-thread log-factorial cache: amortized across calls like the old
-    // single-threaded member table, but race-free.
-    thread_local LogFactorialTable table;
-    PathProbability exact(table);
-    const ApproxRegionProbability approx(exact, params.approx);
-    BandedEvaluator banded(table, params);
+    LogFactorialTable& table = scoring_table();
+    ScoreMemo& memo = scoring_memo();
+    memo.configure(params.score_cache_capacity, fingerprint);
+    NetScorer scorer(table, params, memo);
     std::vector<double>& flow = partial[static_cast<std::size_t>(b)];
     flow.assign(cells, 0.0);
     const FlowGrid out{&flow, cl.nx(), cl.ny()};
     const BlockRange range = block_range(nets.size(), blocks, b);
     for (std::size_t i = range.begin; i < range.end; ++i) {
-      score_net(nets[i], cl, chip, params, out, exact, approx, banded);
+      scorer.score(nets[i], cl, chip, out);
     }
   });
 
   // Ordered reduction (block 0 first, block N-1 last).
   std::vector<double> flow(cells, 0.0);
-  for (const std::vector<double>& p : partial) {
+  for (int b = 0; b < blocks; ++b) {
+    const std::vector<double>& p = partial[static_cast<std::size_t>(b)];
     for (std::size_t i = 0; i < cells; ++i) flow[i] += p[i];
   }
   return IrregularCongestionMap(std::move(lines), std::move(flow));

@@ -14,6 +14,7 @@
 // are computed inside each routing range; it does not partition the chip.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "congestion/approx.hpp"
@@ -48,6 +49,14 @@ struct IrregularGridParams {
   /// Cut lines closer than merge_factor * pitch are merged (alg. step 2;
   /// the paper uses "double of the width/length of a grid", i.e. 2.0).
   double merge_factor = 2.0;
+  /// Capacity (entries) of the per-thread LRU memo for per-net probability
+  /// matrices (region strategies) and per-shape band start terms (banded
+  /// strategy); 0 disables memoization. Hits and misses return
+  /// bit-identical values, so this knob trades memory for speed without
+  /// ever changing results. 4096 covers the live shape population of
+  /// MCNC-scale anneals; larger capacities were measured slower (the
+  /// working set outgrows the data caches faster than the hit rate rises).
+  std::size_t score_cache_capacity = 4096;
 };
 
 /// Result of one Irregular-Grid evaluation: the cut lines plus the

@@ -17,6 +17,12 @@ Floorplanner::Floorplanner(const Netlist& netlist, FloorplanOptions options)
                     options_.objective.gamma >= 0.0,
                 "objective weights must be non-negative");
   FICON_REQUIRE(options_.effort > 0.0, "effort must be positive");
+  // The per-net scoring memo is part of the incremental pipeline; turning
+  // the pipeline off must also turn the memo off so the baseline path
+  // measured by bench_incremental is the genuine PR-1 evaluation.
+  if (!options_.incremental) {
+    options_.objective.irregular.score_cache_capacity = 0;
+  }
   switch (options_.objective.model) {
     case CongestionModelKind::kIrregularGrid:
       irregular_.emplace(options_.objective.irregular);
@@ -50,16 +56,33 @@ Floorplanner::Floorplanner(const Netlist& netlist, FloorplanOptions options)
   const auto sample_placement = [&](const Placement& placement,
                                     double area) {
     area_sum += area;
-    wire_sum += mst_wirelength(netlist, placement);
-    if (want_congestion) cgt_sum += congestion_of(placement);
+    if (options_.incremental) {
+      // Decompose once and share the nets between both terms; total_length
+      // sums the same edges in the same order as mst_wirelength.
+      const std::span<const TwoPinNet> nets =
+          decomposer_.decompose(netlist, placement);
+      wire_sum += total_length(nets);
+      if (want_congestion) cgt_sum += congestion_of(nets, placement.chip);
+    } else {
+      wire_sum += mst_wirelength(netlist, placement);
+      if (want_congestion) {
+        const auto nets = decompose_to_two_pin(netlist, placement);
+        cgt_sum += congestion_of(nets, placement.chip);
+      }
+    }
   };
   if (options_.engine == FloorplanEngine::kPolishExpression) {
     PolishExpression expr =
         PolishExpression::initial(static_cast<int>(netlist.module_count()));
     for (int i = 0; i < samples; ++i) {
       expr.random_move(rng);
-      const SlicingResult packed = packer_.pack(expr);
-      sample_placement(packed.placement, packed.area);
+      if (options_.incremental) {
+        const SlicingResult& packed = packer_.pack_cached_ref(expr);
+        sample_placement(packed.placement, packed.area);
+      } else {
+        const SlicingResult packed = packer_.pack(expr);
+        sample_placement(packed.placement, packed.area);
+      }
     }
   } else {
     SequencePair pair =
@@ -75,10 +98,10 @@ Floorplanner::Floorplanner(const Netlist& netlist, FloorplanOptions options)
   congestion_scale_ = std::max(cgt_sum / samples, 1e-12);
 }
 
-double Floorplanner::congestion_of(const Placement& placement) const {
-  const auto nets = decompose_to_two_pin(*netlist_, placement);
-  if (irregular_) return irregular_->cost(nets, placement.chip);
-  if (fixed_) return fixed_->cost(nets, placement.chip);
+double Floorplanner::congestion_of(std::span<const TwoPinNet> nets,
+                                   const Rect& chip) const {
+  if (irregular_) return irregular_->cost(nets, chip);
+  if (fixed_) return fixed_->cost(nets, chip);
   return 0.0;
 }
 
@@ -99,16 +122,32 @@ FloorplanMetrics Floorplanner::evaluate_placement(
     const Placement& placement) const {
   FloorplanMetrics m;
   m.area = placement.chip.area();
-  m.wirelength = mst_wirelength(*netlist_, placement);
-  if (options_.objective.model != CongestionModelKind::kNone &&
-      options_.objective.gamma > 0.0) {
-    m.congestion = congestion_of(placement);
+  const bool want_congestion =
+      options_.objective.model != CongestionModelKind::kNone &&
+      options_.objective.gamma > 0.0;
+  if (options_.incremental) {
+    // One decomposition feeds both the wirelength and congestion terms
+    // (the baseline path decomposes twice); edge order is identical, so
+    // both terms are bit-identical to the baseline's.
+    const std::span<const TwoPinNet> nets =
+        decomposer_.decompose(*netlist_, placement);
+    m.wirelength = total_length(nets);
+    if (want_congestion) m.congestion = congestion_of(nets, placement.chip);
+  } else {
+    m.wirelength = mst_wirelength(*netlist_, placement);
+    if (want_congestion) {
+      const auto nets = decompose_to_two_pin(*netlist_, placement);
+      m.congestion = congestion_of(nets, placement.chip);
+    }
   }
   m.cost = raw_cost(m);
   return m;
 }
 
 FloorplanMetrics Floorplanner::evaluate(const PolishExpression& expr) const {
+  if (options_.incremental) {
+    return evaluate_placement(packer_.pack_cached_ref(expr).placement);
+  }
   return evaluate_placement(packer_.pack(expr).placement);
 }
 

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 
 #include "anneal/annealer.hpp"
 #include "circuit/netlist.hpp"
@@ -22,6 +23,7 @@
 #include "floorplan/polish.hpp"
 #include "floorplan/sequence_pair.hpp"
 #include "floorplan/slicing.hpp"
+#include "route/two_pin.hpp"
 
 namespace ficon {
 
@@ -62,6 +64,14 @@ struct FloorplanOptions {
   /// 10 * module_count when left at 0). FICON_SCALE maps here.
   double effort = 1.0;
   std::uint64_t seed = 1;  ///< root of every RNG stream of the run
+  /// Use the incremental evaluation pipeline: cached slicing shape curves
+  /// (SlicingPacker::pack_cached), buffer-reusing net decomposition with a
+  /// single decomposition shared by the wirelength and congestion terms
+  /// (TwoPinDecomposer), and the per-net scoring memo (score_cache.hpp).
+  /// Every cached value is a pure function of its key, so solutions are
+  /// bit-identical with this on or off — the switch exists for A/B
+  /// benchmarking (bench_incremental) and debugging, not for correctness.
+  bool incremental = true;
 };
 
 /// Metrics of one packed floorplan under a fixed objective.
@@ -135,12 +145,18 @@ class Floorplanner {
  private:
   FloorplanSolution run_polish(const SnapshotFn& snapshot) const;
   FloorplanSolution run_sequence_pair(const SnapshotFn& snapshot) const;
-  double congestion_of(const Placement& placement) const;
+  double congestion_of(std::span<const TwoPinNet> nets,
+                       const Rect& chip) const;
   double raw_cost(const FloorplanMetrics& m) const;
 
   const Netlist* netlist_;
   FloorplanOptions options_;
-  SlicingPacker packer_;
+  // The packer and decomposer are mutable because the incremental pipeline
+  // keeps per-instance caches/buffers warm across const evaluations. The
+  // class is documented as not internally synchronized, so const methods
+  // mutating instance-local caches do not widen the threading contract.
+  mutable SlicingPacker packer_;
+  mutable TwoPinDecomposer decomposer_;
   SequencePairPacker sp_packer_;
   std::optional<IrregularGridModel> irregular_;
   std::optional<FixedGridModel> fixed_;

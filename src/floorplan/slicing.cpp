@@ -5,17 +5,6 @@
 #include "util/check.hpp"
 
 namespace ficon {
-namespace {
-
-/// One node of the slicing tree in postfix order.
-struct Node {
-  PolishToken token;
-  int left = -1;   ///< node index, -1 for leaves
-  int right = -1;
-  ShapeCurve curve;
-};
-
-}  // namespace
 
 SlicingPacker::SlicingPacker(const Netlist& netlist) {
   leaf_curves_.reserve(netlist.module_count());
@@ -25,18 +14,16 @@ SlicingPacker::SlicingPacker(const Netlist& netlist) {
   FICON_REQUIRE(!leaf_curves_.empty(), "netlist has no modules");
 }
 
-SlicingResult SlicingPacker::pack(const PolishExpression& expr) const {
-  FICON_REQUIRE(static_cast<std::size_t>(expr.module_count()) ==
-                    leaf_curves_.size(),
-                "expression does not match netlist module count");
-
+void SlicingPacker::build_nodes(const std::vector<PolishToken>& tokens,
+                                std::vector<TreeNode>& nodes,
+                                int& root) const {
   // Bottom-up: build nodes and shape curves with an explicit stack.
-  std::vector<Node> nodes;
-  nodes.reserve(expr.tokens().size());
+  nodes.clear();
+  nodes.reserve(tokens.size());
   std::vector<int> stack;
-  stack.reserve(expr.tokens().size());
-  for (const PolishToken& t : expr.tokens()) {
-    Node node;
+  stack.reserve(tokens.size());
+  for (const PolishToken& t : tokens) {
+    TreeNode node;
     node.token = t;
     if (t.is_operand()) {
       node.curve = leaf_curves_[static_cast<std::size_t>(t.value)];
@@ -46,8 +33,10 @@ SlicingResult SlicingPacker::pack(const PolishExpression& expr) const {
       stack.pop_back();
       node.left = stack.back();
       stack.pop_back();
-      const ShapeCurve& lc = nodes[static_cast<std::size_t>(node.left)].curve;
-      const ShapeCurve& rc = nodes[static_cast<std::size_t>(node.right)].curve;
+      const ShapeCurve& lc =
+          nodes[static_cast<std::size_t>(node.left)].curve;
+      const ShapeCurve& rc =
+          nodes[static_cast<std::size_t>(node.right)].curve;
       node.curve = t.value == PolishToken::kV
                        ? ShapeCurve::combine_vertical(lc, rc)
                        : ShapeCurve::combine_horizontal(lc, rc);
@@ -56,9 +45,21 @@ SlicingResult SlicingPacker::pack(const PolishExpression& expr) const {
     nodes.push_back(std::move(node));
   }
   FICON_ASSERT(stack.size() == 1, "malformed expression");
-  const int root = stack.back();
+  root = stack.back();
+}
 
+SlicingResult SlicingPacker::assemble(const std::vector<TreeNode>& nodes,
+                                      int root) const {
   SlicingResult result;
+  assemble_into(nodes, root, result);
+  return result;
+}
+
+/// Assembles into `result`, reusing its vectors' capacity. Every module
+/// rect and rotation flag is assigned exactly once (the expression covers
+/// every module), so stale contents of a reused result never survive.
+void SlicingPacker::assemble_into(const std::vector<TreeNode>& nodes, int root,
+                                  SlicingResult& result) const {
   const ShapeCurve& root_curve = nodes[static_cast<std::size_t>(root)].curve;
   const std::size_t root_choice = root_curve.min_area_index();
   result.width = root_curve[root_choice].w;
@@ -79,7 +80,7 @@ SlicingResult SlicingPacker::pack(const PolishExpression& expr) const {
   while (!todo.empty()) {
     const Assignment a = todo.back();
     todo.pop_back();
-    const Node& node = nodes[static_cast<std::size_t>(a.node)];
+    const TreeNode& node = nodes[static_cast<std::size_t>(a.node)];
     const ShapePoint& pt = node.curve[a.choice];
     if (node.token.is_operand()) {
       const auto m = static_cast<std::size_t>(node.token.value);
@@ -102,7 +103,84 @@ SlicingResult SlicingPacker::pack(const PolishExpression& expr) const {
       todo.push_back(Assignment{node.right, rc, a.x, a.y + lp.h});
     }
   }
-  return result;
+}
+
+SlicingResult SlicingPacker::pack(const PolishExpression& expr) const {
+  FICON_REQUIRE(static_cast<std::size_t>(expr.module_count()) ==
+                    leaf_curves_.size(),
+                "expression does not match netlist module count");
+  std::vector<TreeNode> nodes;
+  int root = -1;
+  build_nodes(expr.tokens(), nodes, root);
+  return assemble(nodes, root);
+}
+
+SlicingResult SlicingPacker::pack_cached(const PolishExpression& expr) {
+  return pack_cached_ref(expr);
+}
+
+const SlicingResult& SlicingPacker::pack_cached_ref(
+    const PolishExpression& expr) {
+  FICON_REQUIRE(static_cast<std::size_t>(expr.module_count()) ==
+                    leaf_curves_.size(),
+                "expression does not match netlist module count");
+  const std::vector<PolishToken>& tokens = expr.tokens();
+
+  // The cached tree is reusable iff the operand/operator *kind pattern*
+  // is unchanged: child indices in postfix order depend on that pattern
+  // alone, never on which operand or which operator sits at a position.
+  bool same_structure = cache_valid_ && cache_nodes_.size() == tokens.size();
+  if (same_structure) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (cache_nodes_[i].token.is_operand() != tokens[i].is_operand()) {
+        same_structure = false;
+        break;
+      }
+    }
+  }
+
+  if (!same_structure) {
+    build_nodes(tokens, cache_nodes_, cache_root_);
+    cache_valid_ = true;
+    ++cache_stats_.full_rebuilds;
+    assemble_into(cache_nodes_, cache_root_, cache_result_);
+    return cache_result_;
+  }
+
+  // Diff pass in postfix order: a node is dirty iff its own token changed
+  // or either child is dirty; only dirty curves are recombined. Clean
+  // curves are reused bit-for-bit and recombination is a pure function of
+  // the children, so the result is identical to a full rebuild.
+  ++cache_stats_.incremental_packs;
+  cache_stats_.nodes_total += static_cast<long long>(tokens.size());
+  dirty_.assign(tokens.size(), 0);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const PolishToken& t = tokens[i];
+    TreeNode& node = cache_nodes_[i];
+    bool d = !(node.token == t);
+    if (t.is_operator()) {
+      d = d || dirty_[static_cast<std::size_t>(node.left)] != 0 ||
+          dirty_[static_cast<std::size_t>(node.right)] != 0;
+    }
+    if (d) {
+      if (t.is_operand()) {
+        node.curve = leaf_curves_[static_cast<std::size_t>(t.value)];
+      } else {
+        const ShapeCurve& lc =
+            cache_nodes_[static_cast<std::size_t>(node.left)].curve;
+        const ShapeCurve& rc =
+            cache_nodes_[static_cast<std::size_t>(node.right)].curve;
+        node.curve = t.value == PolishToken::kV
+                         ? ShapeCurve::combine_vertical(lc, rc)
+                         : ShapeCurve::combine_horizontal(lc, rc);
+      }
+      node.token = t;
+      ++cache_stats_.nodes_recomputed;
+    }
+    dirty_[i] = d ? 1 : 0;
+  }
+  assemble_into(cache_nodes_, cache_root_, cache_result_);
+  return cache_result_;
 }
 
 bool placement_is_legal(const Placement& placement) {

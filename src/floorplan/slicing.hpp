@@ -21,19 +21,76 @@ struct SlicingResult {
 };
 
 /// Packs Polish expressions for one netlist. Leaf shape curves are
-/// precomputed once; pack() is called per annealing move.
+/// precomputed once; pack() / pack_cached() are called per annealing move.
 class SlicingPacker {
  public:
+  /// One node of the slicing tree in postfix order (node i corresponds to
+  /// token i; children indices are determined by the operand/operator kind
+  /// pattern alone). Public only so pack() and pack_cached() can share it.
+  struct TreeNode {
+    PolishToken token;
+    int left = -1;  ///< node index, -1 for leaves
+    int right = -1;
+    ShapeCurve curve;
+  };
+
+  /// Counters of the incremental pack_cached() path.
+  struct CacheStats {
+    long long full_rebuilds = 0;      ///< structure changed (or cold cache)
+    long long incremental_packs = 0;  ///< dirty-path recompute sufficed
+    long long nodes_recomputed = 0;   ///< curves recombined incrementally
+    long long nodes_total = 0;        ///< nodes seen by incremental packs
+  };
+
   explicit SlicingPacker(const Netlist& netlist);
 
   /// Pack the expression; throws if it does not cover exactly the
-  /// netlist's modules.
+  /// netlist's modules. Stateless and const — the reference evaluator.
   SlicingResult pack(const PolishExpression& expr) const;
+
+  /// @brief Incremental pack: bit-identical to pack(), but reuses the
+  /// shape curves computed for the previously packed expression.
+  ///
+  /// Wong-Liu moves perturb the expression locally: M1/M2 change tokens
+  /// without changing the tree structure, so only the curves on the paths
+  /// from the changed tokens to the root need recombining (the dominant
+  /// cost of packing). The cache keys node identity on the postfix
+  /// operand/operator kind pattern; when a move changes that pattern (M3)
+  /// the whole tree is rebuilt, which is exactly what pack() does anyway.
+  /// Curves of clean nodes are reused verbatim and dirty nodes recombine
+  /// deterministic pure functions of their children, so cached and
+  /// from-scratch packs are bit-identical (asserted by slicing_test).
+  SlicingResult pack_cached(const PolishExpression& expr);
+
+  /// @brief pack_cached() without materializing a fresh result: assembles
+  /// into an internal buffer reused across calls and returns a reference
+  /// to it — the annealing inner loop's zero-allocation variant.
+  /// @return reference valid until the next pack_cached()/
+  ///         pack_cached_ref() call on this packer.
+  const SlicingResult& pack_cached_ref(const PolishExpression& expr);
+
+  /// Drop the cached tree; the next pack_cached() rebuilds from scratch.
+  void invalidate_cache() { cache_valid_ = false; }
+
+  const CacheStats& cache_stats() const { return cache_stats_; }
 
   std::size_t module_count() const { return leaf_curves_.size(); }
 
  private:
+  void build_nodes(const std::vector<PolishToken>& tokens,
+                   std::vector<TreeNode>& nodes, int& root) const;
+  void assemble_into(const std::vector<TreeNode>& nodes, int root,
+                     SlicingResult& result) const;
+  SlicingResult assemble(const std::vector<TreeNode>& nodes, int root) const;
+
   std::vector<ShapeCurve> leaf_curves_;
+  // pack_cached() state: the previous expression's tree and curves.
+  bool cache_valid_ = false;
+  std::vector<TreeNode> cache_nodes_;
+  int cache_root_ = -1;
+  std::vector<char> dirty_;  ///< per-node scratch for the diff pass
+  SlicingResult cache_result_;  ///< pack_cached_ref() output buffer
+  CacheStats cache_stats_;
 };
 
 /// True iff no two module rects overlap with positive area and all lie

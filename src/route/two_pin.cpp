@@ -1,57 +1,21 @@
 #include "route/two_pin.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/check.hpp"
 
 namespace ficon {
 
-std::vector<TwoPinNet> mst_edges(const std::vector<Point>& pins,
-                                 int source_net) {
-  FICON_REQUIRE(pins.size() >= 2, "MST needs at least two pins");
-  const std::size_t k = pins.size();
-  std::vector<TwoPinNet> edges;
-  edges.reserve(k - 1);
+namespace {
 
-  // Prim's algorithm from pin 0.
-  std::vector<bool> in_tree(k, false);
-  std::vector<double> best_dist(k, std::numeric_limits<double>::infinity());
-  std::vector<std::size_t> best_parent(k, 0);
-  in_tree[0] = true;
-  for (std::size_t j = 1; j < k; ++j) {
-    best_dist[j] = manhattan(pins[0], pins[j]);
-  }
-  for (std::size_t added = 1; added < k; ++added) {
-    std::size_t next = k;
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < k; ++j) {
-      if (!in_tree[j] && best_dist[j] < best) {
-        best = best_dist[j];
-        next = j;
-      }
-    }
-    FICON_ASSERT(next < k, "Prim found no next vertex");
-    in_tree[next] = true;
-    edges.push_back(TwoPinNet{pins[best_parent[next]], pins[next],
-                              source_net});
-    for (std::size_t j = 0; j < k; ++j) {
-      if (!in_tree[j]) {
-        const double d = manhattan(pins[next], pins[j]);
-        if (d < best_dist[j]) {
-          best_dist[j] = d;
-          best_parent[j] = next;
-        }
-      }
-    }
-  }
-  return edges;
-}
-
-std::vector<TwoPinNet> star_edges(const std::vector<Point>& pins,
-                                  int source_net) {
-  FICON_REQUIRE(pins.size() >= 2, "star needs at least two pins");
-  // Componentwise median minimizes total Manhattan distance to the hub.
-  std::vector<double> xs, ys;
+/// Componentwise median of the pin set — the star hub. nth_element is
+/// deterministic for a fixed input, so every caller that feeds the same
+/// pins gets the same hub (and therefore the same edges).
+Point star_hub(std::span<const Point> pins, std::vector<double>& xs,
+               std::vector<double>& ys) {
+  xs.clear();
+  ys.clear();
   xs.reserve(pins.size());
   ys.reserve(pins.size());
   for (const Point& p : pins) {
@@ -63,7 +27,80 @@ std::vector<TwoPinNet> star_edges(const std::vector<Point>& pins,
     std::nth_element(v.begin(), mid, v.end());
     return *mid;
   };
-  const Point hub{median(xs), median(ys)};
+  return Point{median(xs), median(ys)};
+}
+
+}  // namespace
+
+void TwoPinDecomposer::mst_edges_into(std::span<const Point> pins,
+                                      int source_net, TwoPinNet* out) {
+  FICON_REQUIRE(pins.size() >= 2, "MST needs at least two pins");
+  const std::size_t k = pins.size();
+
+  // Prim's algorithm from pin 0, scratch arrays reused across nets.
+  in_tree_.assign(k, 0);
+  best_dist_.assign(k, std::numeric_limits<double>::infinity());
+  best_parent_.assign(k, 0);
+  in_tree_[0] = 1;
+  for (std::size_t j = 1; j < k; ++j) {
+    best_dist_[j] = manhattan(pins[0], pins[j]);
+  }
+  for (std::size_t added = 1; added < k; ++added) {
+    std::size_t next = k;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!in_tree_[j] && best_dist_[j] < best) {
+        best = best_dist_[j];
+        next = j;
+      }
+    }
+    FICON_ASSERT(next < k, "Prim found no next vertex");
+    in_tree_[next] = 1;
+    *out++ = TwoPinNet{pins[best_parent_[next]], pins[next], source_net};
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!in_tree_[j]) {
+        const double d = manhattan(pins[next], pins[j]);
+        if (d < best_dist_[j]) {
+          best_dist_[j] = d;
+          best_parent_[j] = next;
+        }
+      }
+    }
+  }
+}
+
+void TwoPinDecomposer::star_edges_into(std::span<const Point> pins,
+                                       int source_net, TwoPinNet* out) {
+  FICON_REQUIRE(pins.size() >= 2, "star needs at least two pins");
+  const Point hub = star_hub(pins, xs_, ys_);
+  for (const Point& p : pins) {
+    *out++ = TwoPinNet{hub, p, source_net};
+  }
+}
+
+void TwoPinDecomposer::append_mst_edges(const std::vector<Point>& pins,
+                                        int source_net,
+                                        std::vector<TwoPinNet>& out) {
+  FICON_REQUIRE(pins.size() >= 2, "MST needs at least two pins");
+  const std::size_t base = out.size();
+  out.resize(base + pins.size() - 1);
+  mst_edges_into(std::span<const Point>(pins), source_net, out.data() + base);
+}
+
+std::vector<TwoPinNet> mst_edges(const std::vector<Point>& pins,
+                                 int source_net) {
+  std::vector<TwoPinNet> edges;
+  if (pins.size() >= 2) edges.reserve(pins.size() - 1);
+  TwoPinDecomposer scratch;
+  scratch.append_mst_edges(pins, source_net, edges);
+  return edges;
+}
+
+std::vector<TwoPinNet> star_edges(const std::vector<Point>& pins,
+                                  int source_net) {
+  FICON_REQUIRE(pins.size() >= 2, "star needs at least two pins");
+  std::vector<double> xs, ys;
+  const Point hub = star_hub(pins, xs, ys);
   std::vector<TwoPinNet> edges;
   edges.reserve(pins.size());
   for (const Point& p : pins) {
@@ -72,32 +109,132 @@ std::vector<TwoPinNet> star_edges(const std::vector<Point>& pins,
   return edges;
 }
 
+std::span<const TwoPinNet> TwoPinDecomposer::decompose(
+    const Netlist& netlist, const Placement& placement,
+    Decomposition method) {
+  FICON_REQUIRE(placement.module_rects.size() == netlist.module_count(),
+                "placement does not match netlist");
+  if (cached_netlist_ != &netlist || cached_method_ != method) {
+    // (Re)build the fixed layout: per-net pin and edge offsets. Both
+    // depend only on net degrees, so they — and therefore each net's
+    // slice of nets_ — are stable for the lifetime of the binding.
+    pin_offset_.assign(1, 0);
+    edge_offset_.assign(1, 0);
+    pin_offset_.reserve(netlist.net_count() + 1);
+    edge_offset_.reserve(netlist.net_count() + 1);
+    net_modules_.clear();
+    net_module_offset_.assign(1, 0);
+    net_has_terminal_.clear();
+    for (const Net& net : netlist.nets()) {
+      const std::size_t k = net.pins.size();
+      FICON_REQUIRE(k >= 2, "decomposition needs at least two pins per net");
+      pin_offset_.push_back(pin_offset_.back() + k);
+      edge_offset_.push_back(edge_offset_.back() +
+                             (method == Decomposition::kMst ? k - 1 : k));
+      char has_terminal = 0;
+      for (const Pin& pin : net.pins) {
+        if (pin.is_terminal()) {
+          has_terminal = 1;
+        } else {
+          net_modules_.push_back(pin.module);
+        }
+      }
+      net_module_offset_.push_back(net_modules_.size());
+      net_has_terminal_.push_back(has_terminal);
+    }
+    cached_pins_.resize(pin_offset_.back());
+    nets_.resize(edge_offset_.back());
+    cached_netlist_ = &netlist;
+    cached_method_ = method;
+    pins_valid_ = false;
+  }
+
+  // Module diff: a pin position is a pure function of its module's rect
+  // and rotation (terminal pins: of the chip rect), so comparing the
+  // module count's worth of geometry up front tells us which nets can be
+  // skipped without touching their pins at all.
+  const std::size_t modules = netlist.module_count();
+  const bool chip_same =
+      pins_valid_ && placement.chip.xlo == cached_chip_.xlo &&
+      placement.chip.ylo == cached_chip_.ylo &&
+      placement.chip.xhi == cached_chip_.xhi &&
+      placement.chip.yhi == cached_chip_.yhi;
+  module_dirty_.assign(modules, 1);
+  if (pins_valid_ && cached_rects_.size() == modules) {
+    for (std::size_t m = 0; m < modules; ++m) {
+      const Rect& a = placement.module_rects[m];
+      const Rect& b = cached_rects_[m];
+      const char rot = placement.rotated[m] ? 1 : 0;
+      module_dirty_[m] = !(a.xlo == b.xlo && a.ylo == b.ylo &&
+                           a.xhi == b.xhi && a.yhi == b.yhi &&
+                           rot == cached_rotated_[m]);
+    }
+  }
+  cached_chip_ = placement.chip;
+  cached_rects_ = placement.module_rects;
+  cached_rotated_.assign(modules, 0);
+  for (std::size_t m = 0; m < modules; ++m) {
+    cached_rotated_[m] = placement.rotated[m] ? 1 : 0;
+  }
+
+  for (std::size_t n = 0; n < netlist.net_count(); ++n) {
+    const Net& net = netlist.nets()[n];
+    // Fast path: every pin's module is clean (and the chip is unchanged
+    // if the net has terminal pins) — cached pins and edges still hold.
+    bool clean = pins_valid_ && (chip_same || !net_has_terminal_[n]);
+    if (clean) {
+      for (std::size_t i = net_module_offset_[n];
+           i < net_module_offset_[n + 1]; ++i) {
+        if (module_dirty_[static_cast<std::size_t>(net_modules_[i])]) {
+          clean = false;
+          break;
+        }
+      }
+    }
+    if (clean) continue;
+    Point* cached = cached_pins_.data() + pin_offset_[n];
+    // Gather this net's pin positions, diffing against the previous call
+    // in the same pass (write-through): a dirty module can still leave a
+    // net's pins in place (e.g. an unrelated chip resize).
+    bool same = pins_valid_;
+    for (std::size_t i = 0; i < net.pins.size(); ++i) {
+      const Point p = placement.pin_position(net.pins[i]);
+      if (same && (p.x != cached[i].x || p.y != cached[i].y)) same = false;
+      cached[i] = p;
+    }
+    if (same) continue;  // unchanged pins: the cached edges already match
+    const std::span<const Point> pins(cached, net.pins.size());
+    TwoPinNet* out = nets_.data() + edge_offset_[n];
+    if (method == Decomposition::kMst) {
+      mst_edges_into(pins, static_cast<int>(n), out);
+    } else {
+      star_edges_into(pins, static_cast<int>(n), out);
+    }
+  }
+  pins_valid_ = true;
+  return nets_;
+}
+
 std::vector<TwoPinNet> decompose_to_two_pin(const Netlist& netlist,
                                             const Placement& placement,
                                             Decomposition method) {
-  FICON_REQUIRE(placement.module_rects.size() == netlist.module_count(),
-                "placement does not match netlist");
-  std::vector<TwoPinNet> result;
-  result.reserve(netlist.pin_count());  // upper bound: sum (degree - 1)
-  std::vector<Point> pins;
-  for (std::size_t n = 0; n < netlist.net_count(); ++n) {
-    const Net& net = netlist.nets()[n];
-    pins.clear();
-    pins.reserve(net.pins.size());
-    for (const Pin& pin : net.pins) {
-      pins.push_back(placement.pin_position(pin));
-    }
-    auto edges = method == Decomposition::kMst
-                     ? mst_edges(pins, static_cast<int>(n))
-                     : star_edges(pins, static_cast<int>(n));
-    result.insert(result.end(), edges.begin(), edges.end());
-  }
-  return result;
+  TwoPinDecomposer decomposer;
+  const std::span<const TwoPinNet> nets =
+      decomposer.decompose(netlist, placement, method);
+  return std::vector<TwoPinNet>(nets.begin(), nets.end());
 }
 
 double mst_wirelength(const Netlist& netlist, const Placement& placement) {
   double total = 0.0;
   for (const TwoPinNet& e : decompose_to_two_pin(netlist, placement)) {
+    total += e.manhattan_length();
+  }
+  return total;
+}
+
+double total_length(std::span<const TwoPinNet> nets) {
+  double total = 0.0;
+  for (const TwoPinNet& e : nets) {
     total += e.manhattan_length();
   }
   return total;

@@ -6,6 +6,7 @@
 // distance between pin positions under a concrete placement.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "circuit/netlist.hpp"
@@ -53,6 +54,80 @@ std::vector<TwoPinNet> decompose_to_two_pin(
 /// Total Manhattan wirelength of the MST decomposition — the "wire length"
 /// column of the paper's tables.
 double mst_wirelength(const Netlist& netlist, const Placement& placement);
+
+/// Sum of Manhattan lengths over already-decomposed nets. Summation order
+/// is the net order, so for nets from decompose_to_two_pin() the result is
+/// bit-identical to mst_wirelength() without decomposing again.
+double total_length(std::span<const TwoPinNet> nets);
+
+/// @brief Buffer-reusing, pin-caching net decomposition for the annealing
+/// inner loop.
+///
+/// decompose_to_two_pin() allocates the result vector, a pin buffer and
+/// the Prim scratch arrays on every call — once per proposed move when
+/// used inside the floorplanner objective. This class produces the exact
+/// same edges in the exact same order but keeps all buffers alive across
+/// calls, so steady-state decomposition allocates nothing.
+///
+/// It additionally remembers every net's pin positions from the previous
+/// call (for the same netlist and method): consecutive annealing
+/// candidates differ by one local move, so most modules — and therefore
+/// most nets' pins — do not move between calls. A net whose pins are
+/// unchanged keeps its cached edges, skipping Prim entirely. The edges
+/// are a pure function of the pin positions, so the cached values are
+/// bit-identical to a recomputation; every net's edge count is fixed by
+/// its degree, so each net owns a stable slice of the output buffer and
+/// reuse never perturbs edge order.
+///
+/// Not internally synchronized: one instance per thread (the Floorplanner
+/// owns one, mirroring its own threading contract). The pin cache is
+/// keyed on the netlist's address; netlists are immutable after
+/// construction, so entries cannot go stale.
+class TwoPinDecomposer {
+ public:
+  /// @brief Decompose every net of the netlist under the placement.
+  /// @return view of the internal buffer; valid until the next decompose()
+  ///         call and invalidated by it.
+  std::span<const TwoPinNet> decompose(
+      const Netlist& netlist, const Placement& placement,
+      Decomposition method = Decomposition::kMst);
+
+ private:
+  std::vector<TwoPinNet> nets_;  ///< net n owns [edge_offset_[n], edge_offset_[n+1])
+  // Prim scratch, sized to the largest net degree seen so far.
+  std::vector<char> in_tree_;
+  std::vector<double> best_dist_;
+  std::vector<std::size_t> best_parent_;
+  // Star hub scratch.
+  std::vector<double> xs_, ys_;
+  // Pin cache: previous pin positions, flat, net n at pin_offset_[n].
+  const Netlist* cached_netlist_ = nullptr;
+  Decomposition cached_method_ = Decomposition::kMst;
+  bool pins_valid_ = false;
+  std::vector<Point> cached_pins_;
+  std::vector<std::size_t> pin_offset_;
+  std::vector<std::size_t> edge_offset_;
+  // Module-diff fast path: the previous placement's module geometry. A
+  // net whose pin modules all kept their rect/rotation (and whose terminal
+  // pins, if any, kept the chip outline) cannot have moved pins, so its
+  // gather/compare pass is skipped wholesale. Net n's pin modules live at
+  // net_modules_[net_module_offset_[n] .. net_module_offset_[n+1]).
+  Rect cached_chip_;
+  std::vector<Rect> cached_rects_;
+  std::vector<char> cached_rotated_;
+  std::vector<char> module_dirty_;
+  std::vector<int> net_modules_;
+  std::vector<std::size_t> net_module_offset_;
+  std::vector<char> net_has_terminal_;
+
+  friend std::vector<TwoPinNet> mst_edges(const std::vector<Point>&, int);
+  void append_mst_edges(const std::vector<Point>& pins, int source_net,
+                        std::vector<TwoPinNet>& out);
+  void mst_edges_into(std::span<const Point> pins, int source_net,
+                      TwoPinNet* out);
+  void star_edges_into(std::span<const Point> pins, int source_net,
+                       TwoPinNet* out);
+};
 
 /// Half-perimeter wirelength (cheaper; used as an SA cost alternative).
 double hpwl(const Netlist& netlist, const Placement& placement);

@@ -89,6 +89,35 @@ TEST(Annealer, StallTerminationStopsEarly) {
   EXPECT_LT(result.stats.temperature_steps, 200);
 }
 
+TEST(Annealer, StallResetsWhileDescendingFromExcursion) {
+  // Pins the documented stall rule: a temperature that improves
+  // current_cost — even without touching the global best — does NOT count
+  // toward the stall limit. Landscape (deterministic +1 moves): the walk
+  // hits the global best at x=1 (cost 1), climbs to x=2 (cost 90,
+  // accepted while hot), then descends one unit per temperature down a
+  // long ramp that never beats the best, and finally flattens out.
+  // Counting only best-cost improvements would stop max_stall
+  // temperatures after x=1 (~10 steps); counting current-cost progress
+  // rides the whole ~58-temperature ramp and stalls only on the plateau.
+  const auto cost = [](const int& x) {
+    if (x <= 0) return 100.0;
+    if (x == 1) return 1.0;
+    if (x <= 60) return 90.0 - (x - 2);
+    return 32.0;
+  };
+  AnnealOptions opts;
+  opts.moves_per_temperature = 1;
+  opts.max_stall_temperatures = 8;
+  Annealer<int> annealer(
+      cost, [](const int& x, Rng&) { return x + 1; }, opts);
+  Rng rng(7);
+  const auto result = annealer.run(0, rng);
+  EXPECT_EQ(result.best, 1);
+  EXPECT_DOUBLE_EQ(result.best_cost, 1.0);
+  EXPECT_GT(result.stats.temperature_steps, 40);  // rode the ramp down
+  EXPECT_LT(result.stats.temperature_steps, 85);  // stalled on the plateau
+}
+
 TEST(Annealer, GreedyAtLowTemperature) {
   // With aggressive cooling the end phase is effectively greedy: from any
   // start the result is a local (here global) optimum.

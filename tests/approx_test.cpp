@@ -250,6 +250,58 @@ TEST_F(ApproxFixture, ContinuityCorrectionImprovesAccuracy) {
   EXPECT_LT(err_corrected, err_literal);
 }
 
+TEST_F(ApproxFixture, ZeroWidthSpansKeepTheirExitMass) {
+  // Regression: with continuity correction off, Simpson over the literal
+  // [x1, x2] returns 0 for a width-0 span, so a region one fine column
+  // (row) wide lost its whole top (right) exit sum — a single-cell region
+  // scored exactly 0 from Theorem 1 while Formula 3 gives up to ~0.23
+  // here. Width-0 spans must force the +-1/2 widening (the unit-width
+  // integral is the continuity-corrected one-term sum).
+  ApproxOptions literal;
+  literal.continuity_correction = false;
+  const ApproxRegionProbability approx_literal(exact_, literal);
+  const int g1 = 31, g2 = 21;
+  const NetGridShape s{g1, g2, false};
+  double largest_exact = 0.0;
+  for (int x = 10; x <= 20; x += 2) {
+    for (int y = 8; y <= 14; y += 2) {
+      const GridRect r{x, y, x, y};
+      const auto th = approx_literal.theorem1(g1, g2, r);
+      ASSERT_TRUE(th.has_value()) << r;
+      const double exact = exact_.region_probability_exact(s, r);
+      largest_exact = std::max(largest_exact, exact);
+      EXPECT_NEAR(*th, exact, 0.02) << r;
+    }
+  }
+  // Make sure the sweep actually contains cells with substantial mass —
+  // otherwise the NEAR assertions above would pass vacuously.
+  EXPECT_GT(largest_exact, 0.1);
+}
+
+TEST_F(ApproxFixture, OutOfRangeRegionsMatchClampedRegions) {
+  // region_probability clamps the region to the routing range before
+  // scoring; a region poking past the range must behave exactly like its
+  // clamped counterpart on every internal path (pin rule, small/narrow
+  // exact fallbacks, Theorem 1 and its exact fallback).
+  for (const bool type2 : {false, true}) {
+    for (const auto& [g1, g2] :
+         std::vector<std::pair<int, int>>{{26, 19}, {8, 25}, {3, 3}}) {
+      const NetGridShape s{g1, g2, type2};
+      for (const GridRect raw :
+           {GridRect{-3, -2, 4, 5}, GridRect{g1 - 5, g2 - 4, g1 + 6, g2 + 9},
+            GridRect{2, -7, g1 + 1, 4}, GridRect{-1, 3, g1 + 2, g2 - 3}}) {
+        const GridRect clamped{std::max(raw.xlo, 0), std::max(raw.ylo, 0),
+                               std::min(raw.xhi, g1 - 1),
+                               std::min(raw.yhi, g2 - 1)};
+        EXPECT_EQ(approx_.region_probability(s, raw),
+                  approx_.region_probability(s, clamped))
+            << "type2=" << type2 << " g=(" << g1 << ',' << g2 << ") raw "
+            << raw;
+      }
+    }
+  }
+}
+
 TEST_F(ApproxFixture, ProbabilitiesStayInUnitInterval) {
   for (const bool type2 : {false, true}) {
     const NetGridShape s{33, 27, type2};

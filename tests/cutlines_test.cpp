@@ -46,6 +46,11 @@ TEST(MergeLines, ZeroGapKeepsAllDistinctLines) {
 }
 
 TEST(MergeLines, ResultSortedWithMinimumSpacing) {
+  // Property the model relies on: NO two merged lines — interior or
+  // boundary — are closer than the full merge gap, so every IR-cell is at
+  // least min_gap wide. (Regression: the pre-pooling implementation only
+  // rejected representatives within half a gap of their predecessor, so
+  // chained clusters produced thinner cells.)
   Rng rng(41);
   for (int trial = 0; trial < 50; ++trial) {
     std::vector<double> coords;
@@ -57,16 +62,31 @@ TEST(MergeLines, ResultSortedWithMinimumSpacing) {
     EXPECT_DOUBLE_EQ(merged.front(), 0);
     EXPECT_DOUBLE_EQ(merged.back(), 1000);
     for (std::size_t i = 1; i < merged.size(); ++i) {
-      // Guaranteed half-gap separation (see cutlines.cpp).
-      EXPECT_GE(merged[i] - merged[i - 1], gap * 0.5 - 1e-9)
+      EXPECT_GE(merged[i] - merged[i - 1], gap - 1e-9)
           << "trial " << trial << " i=" << i;
     }
   }
 }
 
-TEST(MergeLines, EveryInputSnapsWithinGap) {
-  // No original cut line may end up farther than one merge gap from a
-  // representative — otherwise a routing range would shift visibly.
+TEST(MergeLines, ChainedClustersStillRespectGap) {
+  // Regression for the half-gap guard: greedy clustering splits
+  // {500, 590, 600} at 600 (600 - 500 >= gap), and the two cluster means
+  // (545 and 600) are 55 apart — more than gap/2, so the old guard kept
+  // both and produced a 55-wide IR-cell. Pooling merges them into one
+  // weighted mean instead.
+  const auto merged = merge_lines({500, 590, 600}, 0, 1000, 100);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_NEAR(merged[1], (500.0 + 590.0 + 600.0) / 3.0, 1e-12);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GE(merged[i] - merged[i - 1], 100.0 - 1e-9);
+  }
+}
+
+TEST(MergeLines, EveryInputSnapsWithinTwoGaps) {
+  // A pooled cluster spans at most a few gap-widths, so no original cut
+  // line may end up farther than two merge gaps from a representative.
+  // (One gap was the bound before backward pooling; the extra slack is the
+  // price of guaranteeing full-gap cell widths above.)
   Rng rng(42);
   for (int trial = 0; trial < 50; ++trial) {
     std::vector<double> coords;
@@ -76,7 +96,7 @@ TEST(MergeLines, EveryInputSnapsWithinGap) {
     for (const double c : coords) {
       double nearest = 1e300;
       for (const double m : merged) nearest = std::min(nearest, std::abs(m - c));
-      EXPECT_LE(nearest, gap + 1e-9) << "coord " << c;
+      EXPECT_LE(nearest, 2 * gap + 1e-9) << "coord " << c;
     }
   }
 }

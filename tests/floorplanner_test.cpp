@@ -42,6 +42,30 @@ TEST(Floorplanner, DeterministicPerSeed) {
   EXPECT_NE(a.expression.to_string(), c.expression.to_string());
 }
 
+TEST(Floorplanner, IncrementalPipelineIsBitIdenticalToBaseline) {
+  // The whole point of the incremental evaluation pipeline (cached shape
+  // curves, shared decomposition, scoring memo): it is a pure speedup. The
+  // same seed must walk the exact same annealing trajectory with the
+  // pipeline on or off, down to the last bit of every metric.
+  const Netlist netlist = make_mcnc("ami33");
+  FloorplanOptions on = fast_options();
+  on.objective.model = CongestionModelKind::kIrregularGrid;
+  on.objective.gamma = 1.0;
+  on.seed = 9;
+  on.incremental = true;
+  FloorplanOptions off = on;
+  off.incremental = false;
+  const FloorplanSolution a = Floorplanner(netlist, on).run();
+  const FloorplanSolution b = Floorplanner(netlist, off).run();
+  EXPECT_EQ(a.expression.to_string(), b.expression.to_string());
+  EXPECT_EQ(a.metrics.area, b.metrics.area);
+  EXPECT_EQ(a.metrics.wirelength, b.metrics.wirelength);
+  EXPECT_EQ(a.metrics.congestion, b.metrics.congestion);
+  EXPECT_EQ(a.metrics.cost, b.metrics.cost);
+  EXPECT_EQ(a.stats.moves_proposed, b.stats.moves_proposed);
+  EXPECT_EQ(a.stats.moves_accepted, b.stats.moves_accepted);
+}
+
 TEST(Floorplanner, OptimizationBeatsInitialExpression) {
   const Netlist netlist = make_mcnc("ami33");
   const Floorplanner planner(netlist, fast_options());

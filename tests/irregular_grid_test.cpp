@@ -158,6 +158,90 @@ TEST(IrregularGrid, DegenerateNetsHandled) {
   EXPECT_GT(total, 0.0);  // all three degenerate nets registered somewhere
 }
 
+TEST(IrregularGrid, DegenerateNetsSplitEvenlyAcrossAdjacentCells) {
+  // Regression: a snapped routing range that collapses onto an interior cut
+  // line used to charge its whole crossing probability to one arbitrary
+  // side of the line. The documented rule is 0.5/0.5 across the two
+  // touching cells per collapsed axis (1.0 to the single neighbor at a chip
+  // boundary), with weights multiplying when both axes collapse.
+  const IrregularGridModel model(fine_params());
+
+  // Vertical net exactly on the interior cut line x=300:
+  // xs = {0, 300, 1000}, ys = {0, 100, 900, 1000}.
+  const std::vector<TwoPinNet> vertical{{Point{300, 100}, Point{300, 900}, 0}};
+  const IrregularCongestionMap v = model.evaluate(vertical, kChip);
+  ASSERT_EQ(v.nx(), 2);
+  ASSERT_EQ(v.ny(), 3);
+  EXPECT_DOUBLE_EQ(v.flow(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(v.flow(1, 1), 0.5);
+  EXPECT_EQ(v.flow(0, 0), 0.0);
+  EXPECT_EQ(v.flow(1, 2), 0.0);
+
+  // The same net on the chip's left edge has only one neighboring column,
+  // which takes the full unit: xs = {0, 1000}.
+  const std::vector<TwoPinNet> edge{{Point{0, 100}, Point{0, 900}, 0}};
+  const IrregularCongestionMap e = model.evaluate(edge, kChip);
+  ASSERT_EQ(e.nx(), 1);
+  EXPECT_DOUBLE_EQ(e.flow(0, 1), 1.0);
+
+  // Crossing degenerate nets plus a point net at their crossing: the point
+  // collapses on both axes and charges 0.25 to each corner cell, so each of
+  // the four cells around (300, 500) accumulates 0.5 + 0.5 + 0.25.
+  const std::vector<TwoPinNet> cross{
+      {Point{300, 100}, Point{300, 900}, 0},  // vertical on x=300
+      {Point{100, 500}, Point{900, 500}, 1},  // horizontal on y=500
+      {Point{300, 500}, Point{300, 500}, 2},  // point on the crossing
+  };
+  const IrregularCongestionMap c = model.evaluate(cross, kChip);
+  // xs = {0, 100, 300, 900, 1000}, ys = {0, 100, 500, 900, 1000}.
+  ASSERT_EQ(c.nx(), 4);
+  ASSERT_EQ(c.ny(), 4);
+  for (const int ix : {1, 2}) {
+    for (const int iy : {1, 2}) {
+      EXPECT_DOUBLE_EQ(c.flow(ix, iy), 1.25) << "cell " << ix << ',' << iy;
+    }
+  }
+}
+
+TEST(IrregularGrid, ScoreMemoNeverChangesResults) {
+  // The per-net memo (score_cache_capacity) must be invisible in the
+  // output: hits return the exact matrix a miss would recompute. Compare
+  // memo-on vs memo-off bitwise for every strategy, and re-evaluate with a
+  // warm thread-local memo (second pass is nearly all hits).
+  Rng rng(57);
+  std::vector<TwoPinNet> nets;
+  for (int i = 0; i < 50; ++i) {
+    Point a{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    Point b{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    if (i % 9 == 0) b.x = a.x;  // include degenerate shapes
+    nets.push_back(TwoPinNet{a, b, i});
+  }
+  // Duplicates guarantee intra-evaluation hits as well.
+  for (int i = 0; i < 15; ++i) nets.push_back(nets[static_cast<std::size_t>(i)]);
+  for (const IrEvalStrategy strategy :
+       {IrEvalStrategy::kBandedExact, IrEvalStrategy::kExactPerRegion,
+        IrEvalStrategy::kTheorem1}) {
+    IrregularGridParams memoized = fine_params();
+    memoized.strategy = strategy;
+    IrregularGridParams plain = memoized;
+    plain.score_cache_capacity = 0;
+    const auto on = IrregularGridModel(memoized).evaluate(nets, kChip);
+    const auto off = IrregularGridModel(plain).evaluate(nets, kChip);
+    const auto warm = IrregularGridModel(memoized).evaluate(nets, kChip);
+    ASSERT_EQ(on.nx(), off.nx());
+    ASSERT_EQ(on.ny(), off.ny());
+    for (int iy = 0; iy < on.ny(); ++iy) {
+      for (int ix = 0; ix < on.nx(); ++ix) {
+        ASSERT_EQ(on.flow(ix, iy), off.flow(ix, iy))
+            << "strategy " << static_cast<int>(strategy) << " cell " << ix
+            << ',' << iy;
+        ASSERT_EQ(on.flow(ix, iy), warm.flow(ix, iy))
+            << "warm memo diverged at cell " << ix << ',' << iy;
+      }
+    }
+  }
+}
+
 TEST(IrregularGrid, CostWeightsDensityByArea) {
   // Construct a map by hand: a tiny hot cell and a large cold cell. With
   // fraction 10% of a 1000x1000 chip (=100000 um^2), the hot cell (10000

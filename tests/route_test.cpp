@@ -204,6 +204,44 @@ TEST(Decompose, HpwlLowerBoundsMst) {
   EXPECT_LE(hpwl(netlist, placement), mst_wirelength(netlist, placement) + 1e-9);
 }
 
+TEST(Decompose, ReusableDecomposerMatchesOneShotApi) {
+  // TwoPinDecomposer (the annealing loop's buffer-reusing path) must emit
+  // exactly the edges of decompose_to_two_pin, in the same order, across
+  // repeated calls on different placements — the incremental pipeline's
+  // bit-identical guarantee depends on it.
+  const Netlist netlist = make_mcnc("ami33");
+  TwoPinDecomposer decomposer;
+  Rng rng(15);
+  for (int trial = 0; trial < 5; ++trial) {
+    Placement placement;
+    placement.chip = Rect{0, 0, 3000, 3000};
+    for (std::size_t i = 0; i < netlist.module_count(); ++i) {
+      const Module& m = netlist.modules()[i];
+      placement.module_rects.push_back(Rect::from_size(
+          Point{rng.uniform(0, 2000), rng.uniform(0, 2000)}, m.width,
+          m.height));
+      placement.rotated.push_back(trial % 2 == 0);
+    }
+    for (const Decomposition method :
+         {Decomposition::kMst, Decomposition::kStar}) {
+      const auto expected = decompose_to_two_pin(netlist, placement, method);
+      const std::span<const TwoPinNet> got =
+          decomposer.decompose(netlist, placement, method);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(got[i].a, expected[i].a) << "trial " << trial << " i=" << i;
+        ASSERT_EQ(got[i].b, expected[i].b) << "trial " << trial << " i=" << i;
+        ASSERT_EQ(got[i].source_net, expected[i].source_net);
+      }
+    }
+    // total_length must reproduce mst_wirelength exactly (same summation
+    // order), so sharing one decomposition between the wirelength and
+    // congestion terms cannot change the objective.
+    EXPECT_EQ(total_length(decomposer.decompose(netlist, placement)),
+              mst_wirelength(netlist, placement));
+  }
+}
+
 TEST(Decompose, RejectsMismatchedPlacement) {
   const Netlist netlist = make_mcnc("hp");
   Placement placement;  // empty

@@ -103,6 +103,78 @@ TEST(Slicing, RandomExpressionsAlwaysLegal) {
   }
 }
 
+TEST(Slicing, CachedPackMatchesFullPackBitwise) {
+  // The incremental pipeline's contract: pack_cached() is bit-identical to
+  // the stateless pack() after any sequence of Wong-Liu moves — including
+  // M3 moves, which change the kind pattern and force a full rebuild.
+  const Netlist n = make_mcnc("ami33");
+  SlicingPacker cached(n);
+  const SlicingPacker fresh(n);
+  Rng rng(33);
+  PolishExpression e =
+      PolishExpression::initial(static_cast<int>(n.module_count()));
+  for (int iter = 0; iter < 200; ++iter) {
+    e.random_move(rng);
+    const SlicingResult a = cached.pack_cached(e);
+    const SlicingResult b = fresh.pack(e);
+    ASSERT_EQ(a.width, b.width) << "iter " << iter;
+    ASSERT_EQ(a.height, b.height) << "iter " << iter;
+    ASSERT_EQ(a.area, b.area) << "iter " << iter;
+    ASSERT_EQ(a.placement.chip, b.placement.chip) << "iter " << iter;
+    for (std::size_t m = 0; m < n.module_count(); ++m) {
+      ASSERT_EQ(a.placement.module_rects[m], b.placement.module_rects[m])
+          << "iter " << iter << " module " << m;
+      ASSERT_EQ(a.placement.rotated[m], b.placement.rotated[m])
+          << "iter " << iter << " module " << m;
+    }
+  }
+  // 200 random moves must have exercised both cache paths, and the dirty
+  // pass must be doing real work: far fewer curves recombined than a full
+  // rebuild per move would cost.
+  const SlicingPacker::CacheStats& stats = cached.cache_stats();
+  EXPECT_GT(stats.incremental_packs, 0);
+  EXPECT_GT(stats.full_rebuilds, 0);  // M3 moves change the kind pattern
+  EXPECT_LT(stats.nodes_recomputed, stats.nodes_total / 2);
+}
+
+TEST(Slicing, PackCachedRefMatchesPackAcrossMoves) {
+  // pack_cached_ref() reuses one internal SlicingResult across calls; a
+  // partially-updated buffer (stale rect or rotation flag from the previous
+  // move surviving) would show up here as a mismatch against pack().
+  const Netlist n = make_mcnc("ami33");
+  SlicingPacker cached(n);
+  const SlicingPacker fresh(n);
+  Rng rng(77);
+  PolishExpression e =
+      PolishExpression::initial(static_cast<int>(n.module_count()));
+  for (int iter = 0; iter < 120; ++iter) {
+    e.random_move(rng);
+    const SlicingResult& a = cached.pack_cached_ref(e);
+    const SlicingResult b = fresh.pack(e);
+    ASSERT_EQ(a.area, b.area) << "iter " << iter;
+    ASSERT_EQ(a.placement.chip, b.placement.chip) << "iter " << iter;
+    for (std::size_t m = 0; m < n.module_count(); ++m) {
+      ASSERT_EQ(a.placement.module_rects[m], b.placement.module_rects[m])
+          << "iter " << iter << " module " << m;
+      ASSERT_EQ(a.placement.rotated[m], b.placement.rotated[m])
+          << "iter " << iter << " module " << m;
+    }
+  }
+}
+
+TEST(Slicing, CacheInvalidationForcesRebuild) {
+  const Netlist n = three_modules();
+  SlicingPacker packer(n);
+  const PolishExpression e(toks({0, 1, V, 2, H}));
+  packer.pack_cached(e);
+  const long long rebuilds = packer.cache_stats().full_rebuilds;
+  packer.pack_cached(e);  // warm: incremental, zero dirty nodes
+  EXPECT_EQ(packer.cache_stats().full_rebuilds, rebuilds);
+  packer.invalidate_cache();
+  packer.pack_cached(e);  // cold again
+  EXPECT_EQ(packer.cache_stats().full_rebuilds, rebuilds + 1);
+}
+
 TEST(Slicing, DeadspaceReasonableAfterManyMoves) {
   // Not an optimality proof — just a sanity bound: even unoptimized random
   // slicing packings of ami33 stay within ~2.5x the module area (the
