@@ -12,6 +12,7 @@
 #include "core/floorplanner.hpp"
 #include "exp/experiment.hpp"
 #include "exp/table.hpp"
+#include "obs/report.hpp"
 #include "util/env.hpp"
 
 namespace ficon::bench {

@@ -113,6 +113,7 @@ StageResult decompose_stage(const Netlist& netlist, int moves) {
 }  // namespace
 
 int main() {
+  obs::set_thread_label("main");
   const ExperimentConfig config = experiment_config_from_env();
   const std::string circuit = env_string("FICON_INC_CIRCUIT", "ami33");
   const std::vector<int> thread_counts = {1, 2, 4, 8};
@@ -208,5 +209,6 @@ int main() {
     std::cout << "# RE-PACK SPEEDUP BELOW GATE ("
               << fmt_fixed(repack.speedup(), 2) << "x < 2x)\n";
   }
+  obs::emit_env_trace(std::cout, "bench_incremental");
   return pass ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 using namespace ficon;
 
 int main() {
+  obs::set_thread_label("main");
   const ExperimentConfig config = experiment_config_from_env();
   std::cout << "Table 2 — results with the Irregular-Grid model in the "
                "objective (grid size 60x60 um^2 for apte, 30x30 otherwise)\n";
@@ -47,5 +48,6 @@ int main() {
   table.print(std::cout);
   std::cout << "(paper Table 2 shape: small area/wire penalty vs Table 1, "
                "judged congestion consistently lower)\n";
+  obs::emit_env_trace(std::cout, "bench_table2");
   return 0;
 }

@@ -5,8 +5,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "circuit/parser.hpp"
-#include "core/floorplanner.hpp"
+#include "ficon.hpp"
 
 int main() {
   // A small hand-written circuit: a CPU-ish cluster. In a real flow this

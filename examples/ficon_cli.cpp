@@ -17,18 +17,15 @@
 //     --svg PATH             write placement + IR heat map SVG
 //     --csv PATH             write IR congestion map CSV
 //     --save PATH            write the packed netlist in native format
+//     --trace PATH           enable telemetry and write a JSONL trace
+//                            (also honours the FICON_TRACE env knob)
 //     --quiet                suppress the per-temperature trace
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 
-#include "circuit/mcnc.hpp"
-#include "circuit/parser.hpp"
-#include "congestion/fixed_grid.hpp"
-#include "core/floorplanner.hpp"
-#include "exp/svg.hpp"
-#include "route/two_pin.hpp"
+#include "ficon.hpp"
 
 namespace {
 
@@ -108,6 +105,12 @@ int main(int argc, char** argv) {
   options.seed = std::stoull(get("seed", "1"));
   options.effort = std::stod(get("effort", "1.0"));
 
+  // --trace PATH turns telemetry on for this process even when the
+  // FICON_TRACE env knob is unset; the JSONL report goes to PATH.
+  const std::string trace_path = get("trace", "");
+  if (!trace_path.empty()) ficon::obs::set_trace_enabled(true);
+  ficon::obs::set_thread_label("main");
+
   // --- Run.
   const ficon::Floorplanner planner(netlist, options);
   const ficon::FloorplanSolution sol = planner.run(
@@ -154,6 +157,19 @@ int main(int argc, char** argv) {
     std::ofstream out(path);
     ficon::save_netlist(netlist, out);
     std::cout << "wrote " << path << '\n';
+  }
+  if (!trace_path.empty()) {
+    const ficon::obs::TraceReport report = ficon::obs::capture();
+    ficon::obs::write_summary(std::cout, report);
+    std::ofstream trace(trace_path);
+    ficon::obs::write_jsonl(trace, report, "ficon_cli");
+    ficon::obs::write_solution_jsonl(trace, sol.metrics.area,
+                                     sol.metrics.wirelength,
+                                     sol.metrics.congestion,
+                                     sol.metrics.cost, sol.seconds);
+    std::cout << "wrote " << trace_path << '\n';
+  } else if (ficon::obs::trace_enabled()) {
+    ficon::obs::emit_env_trace(std::cout, "ficon_cli");
   }
   return 0;
 }

@@ -7,13 +7,7 @@
 #include <iostream>
 #include <string>
 
-#include "circuit/mcnc.hpp"
-#include "congestion/fixed_grid.hpp"
-#include "congestion/irregular_grid.hpp"
-#include "core/floorplanner.hpp"
-#include "exp/table.hpp"
-#include "route/two_pin.hpp"
-#include "util/stopwatch.hpp"
+#include "ficon.hpp"
 
 int main(int argc, char** argv) {
   const std::string circuit = argc > 1 ? argv[1] : "ami33";

@@ -6,10 +6,7 @@
 #include <iostream>
 #include <string>
 
-#include "circuit/mcnc.hpp"
-#include "congestion/fixed_grid.hpp"
-#include "core/floorplanner.hpp"
-#include "route/two_pin.hpp"
+#include "ficon.hpp"
 
 int main(int argc, char** argv) {
   const std::string circuit = argc > 1 ? argv[1] : "ami33";

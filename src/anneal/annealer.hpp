@@ -22,10 +22,12 @@
 // intermediate solutions — Experiment 2 (Figure 9) plots exactly these.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -84,20 +86,44 @@ class Annealer {
     result.stats.initial_temperature = t;
     const double t_stop = t * options_.stop_temperature_ratio;
 
+    // Telemetry is a pure observer: when tracing is off this is one
+    // relaxed load; when on, tallies go to the calling thread's sink and
+    // nothing here touches the RNG stream or the accept decisions.
+    const bool tracing = obs::trace_enabled();
+    const int trace_run = tracing ? obs::next_anneal_run() : 0;
+    if (tracing) obs::count(obs::Counter::kAnnealRuns);
+
     int stall = 0;
     for (int step = 0; t > t_stop && stall < options_.max_stall_temperatures;
          ++step) {
       bool improved = false;
       const double cost_at_start = current_cost;
+      obs::AnnealEvent event;
       for (int mv = 0; mv < options_.moves_per_temperature; ++mv) {
         State candidate = neighbor_(current, rng);
         const double candidate_cost = cost_(candidate);
         ++result.stats.moves_proposed;
         const double delta = candidate_cost - current_cost;
+        // The neighbour functor deposits its move kind (1..3, 0 when it
+        // does not report one) in a thread-local side channel.
+        const int kind =
+            tracing ? std::clamp(obs::take_move_kind(), 0,
+                                 obs::kMoveKinds - 1)
+                    : 0;
+        if (tracing) {
+          ++event.proposed;
+          ++event.proposed_by_kind[static_cast<std::size_t>(kind)];
+        }
         if (delta <= 0.0 || rng.uniform() < std::exp(-delta / t)) {
           current = std::move(candidate);
           current_cost = candidate_cost;
           ++result.stats.moves_accepted;
+          if (tracing) {
+            ++event.accepted;
+            ++event.accepted_by_kind[static_cast<std::size_t>(kind)];
+            if (delta > 0.0) ++event.uphill_accepted;
+            event.accepted_delta_sum += delta;
+          }
           if (current_cost < result.best_cost) {
             result.best = current;
             result.best_cost = current_cost;
@@ -111,6 +137,21 @@ class Annealer {
       // (current_cost < cost_at_start) resets the stall counter even when
       // the global best did not move.
       stall = (improved || current_cost < cost_at_start) ? 0 : stall + 1;
+      if (tracing) {
+        event.run = trace_run;
+        event.step = step;
+        event.temperature = t;
+        event.current_cost = current_cost;
+        event.best_cost = result.best_cost;
+        event.stall = stall;
+        obs::record_anneal(event);
+        obs::count(obs::Counter::kAnnealTemperatures);
+        obs::count(obs::Counter::kAnnealMovesProposed, event.proposed);
+        obs::count(obs::Counter::kAnnealMovesAccepted, event.accepted);
+        obs::count(obs::Counter::kAnnealUphillAccepted,
+                   event.uphill_accepted);
+        if (stall > 0) obs::count(obs::Counter::kAnnealStallTemperatures);
+      }
       t *= options_.cooling;
     }
     result.stats.final_temperature = t;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numeric/normal.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace ficon {
@@ -118,13 +119,17 @@ double ApproxRegionProbability::region_probability(
   if (s.degenerate()) return 1.0;
   // Algorithm step 3.1 + section 4.5: pin-covering IR-grids get 1, which
   // also swallows the four error-making cells adjacent to the pins.
-  if (exact_.region_covers_pin(s, r)) return 1.0;
+  if (exact_.region_covers_pin(s, r)) {
+    obs::count(obs::Counter::kIrRegionsCertain);
+    return 1.0;
+  }
   // Structural certainty: a monotone route visits every row and every
   // column of its range, so a region spanning the full width (or height)
   // is crossed by every route. Theorem 1 would lose tail mass near the
   // pins on such spans; the exact answer is free.
   if ((r.xlo == 0 && r.xhi == s.g1 - 1) ||
       (r.ylo == 0 && r.yhi == s.g2 - 1)) {
+    obs::count(obs::Counter::kIrRegionsCertain);
     return 1.0;
   }
   const GridRect canonical = s.type2 ? mirror_region_y(s.g2, r) : r;
@@ -135,11 +140,13 @@ double ApproxRegionProbability::region_probability(
   if (s.g1 + s.g2 < options_.small_range_threshold ||
       std::min(s.g1, s.g2) < options_.narrow_range_threshold ||
       r.nx() + r.ny() <= options_.small_region_threshold) {
+    obs::count(obs::Counter::kIrTheorem1ExactFallbacks);
     return exact_.region_probability_exact(s, r);
   }
   if (const auto approx = theorem1(s.g1, s.g2, canonical)) {
     return *approx;
   }
+  obs::count(obs::Counter::kIrTheorem1ExactFallbacks);
   return exact_.region_probability_exact(s, r);
 }
 

@@ -2,47 +2,39 @@
 #pragma once
 
 #include <iosfwd>
-#include <vector>
 
+#include "congestion/field.hpp"
 #include "congestion/grid_spec.hpp"
-#include "util/stats.hpp"
 
 namespace ficon {
 
 /// @brief Per-cell accumulated crossing probabilities f(x,y) =
 /// sum_i P_i(x,y) (paper section 3) on a uniform grid.
 ///
-/// A plain value type: reads are safe to share, concurrent writes are not
-/// (the parallel evaluator gives each block its own partial and merges).
-class CongestionMap {
+/// Storage, merge and the shared field queries (max_value, density,
+/// overflow, ...) come from FlowField; this class binds them to a
+/// GridSpec and keeps the section-3 cost semantics (raw cell values, not
+/// densities — on a uniform grid the two differ only by the constant
+/// cell-area factor, and the paper's Tables use the raw form).
+class CongestionMap : public FlowField {
  public:
   explicit CongestionMap(GridSpec grid)
-      : grid_(grid),
-        values_(static_cast<std::size_t>(grid.cell_count()), 0.0) {}
+      : FlowField(grid.nx(), grid.ny()), grid_(grid) {}
 
   const GridSpec& grid() const { return grid_; }
 
   /// @brief Accumulated crossing probability f(x,y) of cell (cx, cy).
-  double at(int cx, int cy) const { return values_[index(cx, cy)]; }
+  double at(int cx, int cy) const { return value_at(cx, cy); }
   /// @brief Add probability mass `p` to cell (cx, cy).
-  void add(int cx, int cy, double p) { values_[index(cx, cy)] += p; }
+  void add(int cx, int cy, double p) { add_value(cx, cy, p); }
 
-  /// @brief Element-wise add a partial grid (same layout as values()) —
-  /// the ordered-reduction step of the parallel fixed-grid evaluator.
-  void merge(const std::vector<double>& partial) {
-    FICON_REQUIRE(partial.size() == values_.size(),
-                  "partial grid size mismatch");
-    for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += partial[i];
+  Rect cell_rect(int cx, int cy) const override {
+    return grid_.cell_rect(cx, cy);
   }
-
-  /// Row-major cell values (y-major, same indexing as at()).
-  const std::vector<double>& values() const { return values_; }
-
-  double max_value() const { return values_.empty() ? 0.0 : max_of(values_); }
 
   /// The paper's solution cost: mean of the `fraction` most congested cells.
   double top_fraction_cost(double fraction = 0.10) const {
-    return top_fraction_mean(values_, fraction);
+    return top_fraction_mean(values(), fraction);
   }
 
   /// ASCII heat map (rows top-to-bottom), one shade character per cell;
@@ -53,15 +45,7 @@ class CongestionMap {
   void write_csv(std::ostream& os) const;
 
  private:
-  std::size_t index(int cx, int cy) const {
-    FICON_REQUIRE(cx >= 0 && cx < grid_.nx() && cy >= 0 && cy < grid_.ny(),
-                  "cell index out of range");
-    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(grid_.nx()) +
-           static_cast<std::size_t>(cx);
-  }
-
   GridSpec grid_;
-  std::vector<double> values_;
 };
 
 }  // namespace ficon

@@ -1,0 +1,77 @@
+#include "congestion/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace ficon {
+
+double FlowField::top_area_fraction_density(double fraction) const {
+  FICON_REQUIRE(fraction > 0.0 && fraction <= 1.0, "fraction out of (0,1]");
+  struct CellScore {
+    double density;
+    double area;
+  };
+  std::vector<CellScore> cells;
+  cells.reserve(values_.size());
+  double chip_area = 0.0;
+  for (int iy = 0; iy < ny(); ++iy) {
+    for (int ix = 0; ix < nx(); ++ix) {
+      const double area = cell_rect(ix, iy).area();
+      chip_area += area;
+      cells.push_back(CellScore{density(ix, iy), area});
+    }
+  }
+  if (cells.empty() || chip_area <= 0.0) return 0.0;
+  // Only the densest cells covering `fraction` of the chip area are ever
+  // visited, so draw them from a max-heap instead of fully sorting: the
+  // budget is typically a small fraction, making this O(n + k log n).
+  // Cells of equal density may surface in a different order than a full
+  // sort would give, but equal-density ties contribute density * (area
+  // taken) regardless of order, so the cost is unaffected.
+  const auto by_density = [](const CellScore& a, const CellScore& b) {
+    return a.density < b.density;
+  };
+  std::make_heap(cells.begin(), cells.end(), by_density);
+  auto heap_end = cells.end();
+  const double budget = fraction * chip_area;
+  double used = 0.0;
+  double weighted = 0.0;
+  while (heap_end != cells.begin()) {
+    std::pop_heap(cells.begin(), heap_end, by_density);
+    --heap_end;
+    const CellScore& c = *heap_end;
+    const double take = std::min(c.area, budget - used);
+    if (take <= 0.0) break;
+    weighted += c.density * take;
+    used += take;
+  }
+  return used > 0.0 ? weighted / used : 0.0;
+}
+
+double FlowField::overflow(double capacity) const {
+  double total = 0.0;
+  for (const double u : values_) total += std::max(0.0, u - capacity);
+  return total;
+}
+
+long long FlowField::overflowed_cells(double capacity) const {
+  long long count = 0;
+  for (const double u : values_) {
+    if (u > capacity) ++count;
+  }
+  return count;
+}
+
+void FlowField::write_density_csv(std::ostream& os) const {
+  os << "xlo,ylo,xhi,yhi,flow,density\n";
+  for (int iy = 0; iy < ny(); ++iy) {
+    for (int ix = 0; ix < nx(); ++ix) {
+      const Rect r = cell_rect(ix, iy);
+      os << r.xlo << ',' << r.ylo << ',' << r.xhi << ',' << r.yhi << ','
+         << value_at(ix, iy) << ',' << density(ix, iy) << '\n';
+    }
+  }
+}
+
+}  // namespace ficon

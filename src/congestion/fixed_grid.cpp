@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ficon {
@@ -61,6 +62,9 @@ void accumulate_net(const TwoPinNet& net, const GridSpec& grid,
 
 CongestionMap FixedGridModel::evaluate(std::span<const TwoPinNet> nets,
                                        const Rect& chip) const {
+  obs::count(obs::Counter::kFixedEvaluations);
+  obs::count(obs::Counter::kFixedNetsScored,
+             static_cast<long long>(nets.size()));
   const GridSpec grid =
       GridSpec::from_pitch(chip, params_.grid_w, params_.grid_h);
   CongestionMap map(grid);

@@ -12,10 +12,12 @@
 //    pitch, used as the ground-truth referee in all three experiments.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "congestion/congestion_map.hpp"
 #include "congestion/grid_spec.hpp"
+#include "congestion/model.hpp"
 #include "route/two_pin.hpp"
 
 namespace ficon {
@@ -26,7 +28,7 @@ struct FixedGridParams {
   double top_fraction = 0.10;  ///< cost = mean of this fraction of cells
 };
 
-class FixedGridModel {
+class FixedGridModel : public CongestionModel {
  public:
   explicit FixedGridModel(FixedGridParams params = {}) : params_(params) {
     FICON_REQUIRE(params.grid_w > 0.0 && params.grid_h > 0.0,
@@ -34,6 +36,11 @@ class FixedGridModel {
   }
 
   const FixedGridParams& params() const { return params_; }
+
+  const char* name() const override { return "fixed_grid"; }
+  CongestionModelKind kind() const override {
+    return CongestionModelKind::kFixedGrid;
+  }
 
   /// @brief Build the full congestion map f(x,y) for the decomposed nets.
   ///
@@ -50,8 +57,15 @@ class FixedGridModel {
 
   /// @brief Solution cost: mean of the top `top_fraction` most congested
   /// cells (the paper's section 3 objective).
-  double cost(std::span<const TwoPinNet> nets, const Rect& chip) const {
+  double cost(std::span<const TwoPinNet> nets,
+              const Rect& chip) const override {
     return evaluate(nets, chip).top_fraction_cost(params_.top_fraction);
+  }
+
+  /// Type-erased view of evaluate() for CongestionModel callers.
+  std::unique_ptr<FlowField> evaluate_field(std::span<const TwoPinNet> nets,
+                                            const Rect& chip) const override {
+    return std::make_unique<CongestionMap>(evaluate(nets, chip));
   }
 
  private:

@@ -7,63 +7,10 @@
 #include <ostream>
 
 #include "congestion/score_cache.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ficon {
-
-double IrregularCongestionMap::top_fraction_cost(double fraction) const {
-  FICON_REQUIRE(fraction > 0.0 && fraction <= 1.0, "fraction out of (0,1]");
-  struct CellScore {
-    double density;
-    double area;
-  };
-  std::vector<CellScore> cells;
-  cells.reserve(flow_.size());
-  double chip_area = 0.0;
-  for (int iy = 0; iy < ny(); ++iy) {
-    for (int ix = 0; ix < nx(); ++ix) {
-      const double area = lines_.cell_rect(ix, iy).area();
-      chip_area += area;
-      cells.push_back(CellScore{density(ix, iy), area});
-    }
-  }
-  if (cells.empty() || chip_area <= 0.0) return 0.0;
-  // Only the densest cells covering `fraction` of the chip area are ever
-  // visited, so draw them from a max-heap instead of fully sorting: the
-  // budget is typically a small fraction, making this O(n + k log n).
-  // Cells of equal density may surface in a different order than a full
-  // sort would give, but equal-density ties contribute density * (area
-  // taken) regardless of order, so the cost is unaffected.
-  const auto by_density = [](const CellScore& a, const CellScore& b) {
-    return a.density < b.density;
-  };
-  std::make_heap(cells.begin(), cells.end(), by_density);
-  auto heap_end = cells.end();
-  const double budget = fraction * chip_area;
-  double used = 0.0;
-  double weighted = 0.0;
-  while (heap_end != cells.begin()) {
-    std::pop_heap(cells.begin(), heap_end, by_density);
-    --heap_end;
-    const CellScore& c = *heap_end;
-    const double take = std::min(c.area, budget - used);
-    if (take <= 0.0) break;
-    weighted += c.density * take;
-    used += take;
-  }
-  return used > 0.0 ? weighted / used : 0.0;
-}
-
-void IrregularCongestionMap::write_csv(std::ostream& os) const {
-  os << "xlo,ylo,xhi,yhi,flow,density\n";
-  for (int iy = 0; iy < ny(); ++iy) {
-    for (int ix = 0; ix < nx(); ++ix) {
-      const Rect r = lines_.cell_rect(ix, iy);
-      os << r.xlo << ',' << r.ylo << ',' << r.xhi << ',' << r.yhi << ','
-         << flow(ix, iy) << ',' << density(ix, iy) << '\n';
-    }
-  }
-}
 
 namespace {
 
@@ -165,6 +112,7 @@ class NetScorer {
 
   void score(const TwoPinNet& net, const CutLines& cl, const Rect& chip,
              const FlowGrid& out) {
+    obs::count(obs::Counter::kIrNetsScored);
     const Rect range = net.routing_range().intersection(chip);
     if (!range.valid()) return;  // net fully outside the chip window
 
@@ -189,6 +137,7 @@ class NetScorer {
     // Weights multiply when both axes collapse (a point net on a cut-line
     // crossing charges its four corner cells 0.25 each).
     if (on_grid.ix1 == on_grid.ix2 || on_grid.iy1 == on_grid.iy2) {
+      obs::count(obs::Counter::kIrNetsDegenerate);
       int cx_lo, cx_hi;
       double wx = 1.0;
       if (on_grid.ix1 == on_grid.ix2) {
@@ -312,6 +261,8 @@ class NetScorer {
   /// Banded exact probabilities for all covered IR-cells of one net,
   /// pin-override and clamp applied (see the class comment for the math).
   void fill_banded(const NetOnGrid& net) {
+    obs::count(obs::Counter::kIrRegionsBanded,
+               static_cast<long long>(net.ncx()) * net.ncy());
     const int g1 = net.shape.g1;
     const int g2 = net.shape.g2;
     const bool t2 = net.shape.type2;
@@ -408,6 +359,13 @@ class NetScorer {
   void fill_regions(const NetOnGrid& net) {
     const int ncx = net.ncx();
     const int ncy = net.ncy();
+    // Regions computed (memo hits skip this function entirely; they show
+    // up as score_memo hits instead). The banded strategy's degenerate
+    // shapes land here too and count as exact regions.
+    obs::count(params_->strategy == IrEvalStrategy::kTheorem1
+                   ? obs::Counter::kIrRegionsTheorem1
+                   : obs::Counter::kIrRegionsExact,
+               static_cast<long long>(ncx) * ncy);
     probs_.assign(static_cast<std::size_t>(ncx) * static_cast<std::size_t>(ncy),
                   0.0);
     for (int cy = 0; cy < ncy; ++cy) {
@@ -461,6 +419,7 @@ ScoreMemo& scoring_memo() {
 
 IrregularCongestionMap IrregularGridModel::evaluate(
     std::span<const TwoPinNet> nets, const Rect& chip) const {
+  obs::count(obs::Counter::kIrEvaluations);
   // Algorithm steps 1-2: cut lines from routing ranges, then merge lines
   // closer than twice the fine pitch.
   CutLines lines =

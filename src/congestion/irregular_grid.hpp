@@ -15,10 +15,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
+#include <utility>
 
 #include "congestion/approx.hpp"
 #include "congestion/cutlines.hpp"
+#include "congestion/field.hpp"
+#include "congestion/model.hpp"
 #include "route/two_pin.hpp"
 
 namespace ficon {
@@ -61,61 +65,49 @@ struct IrregularGridParams {
 
 /// Result of one Irregular-Grid evaluation: the cut lines plus the
 /// accumulated crossing probability F(I) of every IR-cell.
-class IrregularCongestionMap {
+///
+/// Storage and the shared field queries come from FlowField; this class
+/// binds them to the cut-line partition and keeps the section-4
+/// vocabulary (flow, IR-cells).
+class IrregularCongestionMap : public FlowField {
  public:
   /// @brief Empty map (all-zero flow) over the given cut lines.
   explicit IrregularCongestionMap(CutLines lines)
-      : lines_(std::move(lines)),
-        flow_(static_cast<std::size_t>(lines_.cell_count()), 0.0) {}
+      : FlowField(lines.nx(), lines.ny()), lines_(std::move(lines)) {}
 
   /// @brief Adopt an already-accumulated flow vector (row-major, iy-major
   /// like flow()); used by the parallel evaluator's block reduction.
   IrregularCongestionMap(CutLines lines, std::vector<double> flow)
-      : lines_(std::move(lines)), flow_(std::move(flow)) {
-    FICON_REQUIRE(flow_.size() == static_cast<std::size_t>(lines_.cell_count()),
-                  "flow vector does not match the cut-line grid");
-  }
+      : FlowField(lines.nx(), lines.ny(), std::move(flow)),
+        lines_(std::move(lines)) {}
 
   const CutLines& lines() const { return lines_; }
-  int nx() const { return lines_.nx(); }
-  int ny() const { return lines_.ny(); }
-
-  /// Number of IR-grids — the "# of IR-grid" column of Table 4.
-  long long cell_count() const { return lines_.cell_count(); }
 
   /// F(I): summed crossing probabilities of IR-cell (ix, iy).
-  double flow(int ix, int iy) const { return flow_[index(ix, iy)]; }
-  void add_flow(int ix, int iy, double p) { flow_[index(ix, iy)] += p; }
+  double flow(int ix, int iy) const { return value_at(ix, iy); }
+  void add_flow(int ix, int iy, double p) { add_value(ix, iy, p); }
 
-  /// Congestion density of an IR-cell: F(I) / area(I) (um^-2). Cells of
-  /// different sizes are only comparable after this normalization
-  /// (section 4.3).
-  double density(int ix, int iy) const {
-    return flow(ix, iy) / lines_.cell_rect(ix, iy).area();
+  /// Geometry of IR-cell (ix, iy), from the cut-line partition.
+  Rect cell_rect(int ix, int iy) const override {
+    return lines_.cell_rect(ix, iy);
   }
 
   /// Solution cost: area-weighted mean density over the `fraction` of chip
   /// area with the highest density ("average congestion cost of the top
   /// 10% most congested area units"). The marginal cell is taken
   /// fractionally so the cost is continuous in the cell layout.
-  double top_fraction_cost(double fraction = 0.10) const;
-
-  /// CSV dump: "xlo,ylo,xhi,yhi,flow,density" per IR-cell.
-  void write_csv(std::ostream& os) const;
-
- private:
-  std::size_t index(int ix, int iy) const {
-    FICON_REQUIRE(ix >= 0 && ix < nx() && iy >= 0 && iy < ny(),
-                  "IR-cell index out of range");
-    return static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx()) +
-           static_cast<std::size_t>(ix);
+  double top_fraction_cost(double fraction = 0.10) const {
+    return top_area_fraction_density(fraction);
   }
 
+  /// CSV dump: "xlo,ylo,xhi,yhi,flow,density" per IR-cell.
+  void write_csv(std::ostream& os) const { write_density_csv(os); }
+
+ private:
   CutLines lines_;
-  std::vector<double> flow_;
 };
 
-class IrregularGridModel {
+class IrregularGridModel : public CongestionModel {
  public:
   explicit IrregularGridModel(IrregularGridParams params = {})
       : params_(params) {
@@ -125,6 +117,11 @@ class IrregularGridModel {
   }
 
   const IrregularGridParams& params() const { return params_; }
+
+  const char* name() const override { return "irregular_grid"; }
+  CongestionModelKind kind() const override {
+    return CongestionModelKind::kIrregularGrid;
+  }
 
   /// @brief Run the full Congestion Information Computation algorithm
   /// (section 4.6) over the decomposed nets.
@@ -144,8 +141,15 @@ class IrregularGridModel {
                                   const Rect& chip) const;
 
   /// Algorithm step 5: top-10%-area mean density.
-  double cost(std::span<const TwoPinNet> nets, const Rect& chip) const {
+  double cost(std::span<const TwoPinNet> nets,
+              const Rect& chip) const override {
     return evaluate(nets, chip).top_fraction_cost(params_.top_fraction);
+  }
+
+  /// Type-erased view of evaluate() for CongestionModel callers.
+  std::unique_ptr<FlowField> evaluate_field(std::span<const TwoPinNet> nets,
+                                            const Rect& chip) const override {
+    return std::make_unique<IrregularCongestionMap>(evaluate(nets, chip));
   }
 
  private:

@@ -1,0 +1,31 @@
+#include "congestion/model.hpp"
+
+#include "congestion/fixed_grid.hpp"
+#include "congestion/irregular_grid.hpp"
+
+namespace ficon {
+
+const char* to_string(CongestionModelKind kind) {
+  switch (kind) {
+    case CongestionModelKind::kNone: return "none";
+    case CongestionModelKind::kIrregularGrid: return "irregular_grid";
+    case CongestionModelKind::kFixedGrid: return "fixed_grid";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CongestionModel> make_congestion_model(
+    CongestionModelKind kind, const IrregularGridParams& irregular,
+    const FixedGridParams& fixed) {
+  switch (kind) {
+    case CongestionModelKind::kIrregularGrid:
+      return std::make_unique<IrregularGridModel>(irregular);
+    case CongestionModelKind::kFixedGrid:
+      return std::make_unique<FixedGridModel>(fixed);
+    case CongestionModelKind::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace ficon

@@ -39,6 +39,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace ficon {
 
 class ScoreMemo {
@@ -85,10 +87,12 @@ class ScoreMemo {
     const auto it = index_.find(Probe{&key, hash_key(key)});
     if (it == index_.end()) {
       ++stats_.misses;
+      obs::count(obs::Counter::kScoreMemoMisses);
       return nullptr;
     }
     touch(*it);
     ++stats_.hits;
+    obs::count(obs::Counter::kScoreMemoHits);
     return &slots_[static_cast<std::size_t>(*it)].value;
   }
 
@@ -111,6 +115,7 @@ class ScoreMemo {
       index_.erase(slot);
       unlink(slot);
       ++stats_.evictions;
+      obs::count(obs::Counter::kScoreMemoEvictions);
     } else {
       slot = static_cast<int>(used_);
       if (static_cast<std::size_t>(slot) >= slots_.size()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "route/two_pin.hpp"
 #include "util/stopwatch.hpp"
 
@@ -23,16 +24,9 @@ Floorplanner::Floorplanner(const Netlist& netlist, FloorplanOptions options)
   if (!options_.incremental) {
     options_.objective.irregular.score_cache_capacity = 0;
   }
-  switch (options_.objective.model) {
-    case CongestionModelKind::kIrregularGrid:
-      irregular_.emplace(options_.objective.irregular);
-      break;
-    case CongestionModelKind::kFixedGrid:
-      fixed_.emplace(options_.objective.fixed);
-      break;
-    case CongestionModelKind::kNone:
-      break;
-  }
+  model_ = make_congestion_model(options_.objective.model,
+                                 options_.objective.irregular,
+                                 options_.objective.fixed);
   if (options_.anneal.moves_per_temperature <= 0) {
     options_.anneal.moves_per_temperature = std::max(
         10, static_cast<int>(10.0 * options_.effort *
@@ -100,9 +94,9 @@ Floorplanner::Floorplanner(const Netlist& netlist, FloorplanOptions options)
 
 double Floorplanner::congestion_of(std::span<const TwoPinNet> nets,
                                    const Rect& chip) const {
-  if (irregular_) return irregular_->cost(nets, chip);
-  if (fixed_) return fixed_->cost(nets, chip);
-  return 0.0;
+  if (model_ == nullptr) return 0.0;
+  const obs::ScopedPhase timer(obs::Phase::kCongestion);
+  return model_->cost(nets, chip);
 }
 
 double Floorplanner::raw_cost(const FloorplanMetrics& m) const {
@@ -129,14 +123,22 @@ FloorplanMetrics Floorplanner::evaluate_placement(
     // One decomposition feeds both the wirelength and congestion terms
     // (the baseline path decomposes twice); edge order is identical, so
     // both terms are bit-identical to the baseline's.
-    const std::span<const TwoPinNet> nets =
-        decomposer_.decompose(*netlist_, placement);
+    const std::span<const TwoPinNet> nets = [&] {
+      const obs::ScopedPhase timer(obs::Phase::kDecompose);
+      return decomposer_.decompose(*netlist_, placement);
+    }();
     m.wirelength = total_length(nets);
     if (want_congestion) m.congestion = congestion_of(nets, placement.chip);
   } else {
-    m.wirelength = mst_wirelength(*netlist_, placement);
+    {
+      const obs::ScopedPhase timer(obs::Phase::kDecompose);
+      m.wirelength = mst_wirelength(*netlist_, placement);
+    }
     if (want_congestion) {
-      const auto nets = decompose_to_two_pin(*netlist_, placement);
+      const auto nets = [&] {
+        const obs::ScopedPhase timer(obs::Phase::kDecompose);
+        return decompose_to_two_pin(*netlist_, placement);
+      }();
       m.congestion = congestion_of(nets, placement.chip);
     }
   }
@@ -146,13 +148,26 @@ FloorplanMetrics Floorplanner::evaluate_placement(
 
 FloorplanMetrics Floorplanner::evaluate(const PolishExpression& expr) const {
   if (options_.incremental) {
-    return evaluate_placement(packer_.pack_cached_ref(expr).placement);
+    const SlicingResult* packed = nullptr;
+    {
+      const obs::ScopedPhase timer(obs::Phase::kPack);
+      packed = &packer_.pack_cached_ref(expr);
+    }
+    return evaluate_placement(packed->placement);
   }
-  return evaluate_placement(packer_.pack(expr).placement);
+  const SlicingResult packed = [&] {
+    const obs::ScopedPhase timer(obs::Phase::kPack);
+    return packer_.pack(expr);
+  }();
+  return evaluate_placement(packed.placement);
 }
 
 FloorplanMetrics Floorplanner::evaluate(const SequencePair& pair) const {
-  return evaluate_placement(sp_packer_.pack(pair).placement);
+  const SequencePairPacker::Result packed = [&] {
+    const obs::ScopedPhase timer(obs::Phase::kPack);
+    return sp_packer_.pack(pair);
+  }();
+  return evaluate_placement(packed.placement);
 }
 
 FloorplanSolution Floorplanner::run(const SnapshotFn& snapshot) const {
@@ -167,7 +182,8 @@ FloorplanSolution Floorplanner::run_polish(const SnapshotFn& snapshot) const {
       [this](const PolishExpression& e) { return evaluate(e).cost; },
       [](const PolishExpression& e, Rng& rng) {
         PolishExpression next = e;
-        next.random_move(rng);
+        const int kind = next.random_move(rng);
+        if (obs::trace_enabled()) obs::note_move_kind(kind);
         return next;
       },
       options_.anneal);
@@ -207,7 +223,8 @@ FloorplanSolution Floorplanner::run_sequence_pair(
       [this](const SequencePair& p) { return evaluate(p).cost; },
       [](const SequencePair& p, Rng& rng) {
         SequencePair next = p;
-        next.random_move(rng);
+        const int kind = next.random_move(rng);
+        if (obs::trace_enabled()) obs::note_move_kind(kind);
         return next;
       },
       options_.anneal);

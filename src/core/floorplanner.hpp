@@ -13,26 +13,20 @@
 #pragma once
 
 #include <functional>
-#include <optional>
+#include <memory>
 #include <span>
 
 #include "anneal/annealer.hpp"
 #include "circuit/netlist.hpp"
 #include "congestion/fixed_grid.hpp"
 #include "congestion/irregular_grid.hpp"
+#include "congestion/model.hpp"
 #include "floorplan/polish.hpp"
 #include "floorplan/sequence_pair.hpp"
 #include "floorplan/slicing.hpp"
 #include "route/two_pin.hpp"
 
 namespace ficon {
-
-/// Which congestion estimator the annealing objective uses.
-enum class CongestionModelKind {
-  kNone,           ///< optimize area + wirelength only
-  kIrregularGrid,  ///< the paper's model
-  kFixedGrid,      ///< the ISPD'02 baseline
-};
 
 /// Floorplan representation driving the annealer. The paper uses
 /// normalized Polish expressions [7]; the sequence-pair engine exists to
@@ -142,6 +136,10 @@ class Floorplanner {
   const Netlist& netlist() const { return *netlist_; }
   const FloorplanOptions& options() const { return options_; }
 
+  /// @brief The congestion estimator behind the gamma term, dispatched
+  /// through the unified CongestionModel interface (nullptr for kNone).
+  const CongestionModel* congestion_model() const { return model_.get(); }
+
  private:
   FloorplanSolution run_polish(const SnapshotFn& snapshot) const;
   FloorplanSolution run_sequence_pair(const SnapshotFn& snapshot) const;
@@ -158,8 +156,9 @@ class Floorplanner {
   mutable SlicingPacker packer_;
   mutable TwoPinDecomposer decomposer_;
   SequencePairPacker sp_packer_;
-  std::optional<IrregularGridModel> irregular_;
-  std::optional<FixedGridModel> fixed_;
+  /// Unified congestion estimator (nullptr for kNone); built once by
+  /// make_congestion_model() from the objective's kind + params.
+  std::unique_ptr<CongestionModel> model_;
   // Normalization baselines, estimated once in the constructor from a
   // seeded random walk (independent of run()'s RNG stream).
   double area_scale_ = 1.0;

@@ -1,0 +1,57 @@
+// Umbrella header for the FICON library.
+//
+// Pulls in the public surface in dependency order: geometry and circuit
+// types, the floorplan representations, the congestion models behind the
+// CongestionModel interface, the annealing-based Floorplanner facade, the
+// experiment/reporting helpers, and the observability layer. Examples and
+// downstream tools should include this instead of reaching into the
+// per-subsystem headers; the internal headers remain available for code
+// that wants a narrower include (e.g. translation-unit-heavy builds).
+#pragma once
+
+// Geometry primitives.
+#include "geom/interval.hpp"   // IWYU pragma: export
+#include "geom/point.hpp"      // IWYU pragma: export
+#include "geom/rect.hpp"       // IWYU pragma: export
+
+// Circuits: netlist model, YAL parser, MCNC benchmark loader.
+#include "circuit/mcnc.hpp"    // IWYU pragma: export
+#include "circuit/netlist.hpp" // IWYU pragma: export
+#include "circuit/parser.hpp"  // IWYU pragma: export
+
+// Floorplan representations and packing.
+#include "floorplan/polish.hpp"         // IWYU pragma: export
+#include "floorplan/sequence_pair.hpp"  // IWYU pragma: export
+#include "floorplan/shape.hpp"          // IWYU pragma: export
+#include "floorplan/slicing.hpp"        // IWYU pragma: export
+
+// Net decomposition and the probabilistic global router.
+#include "route/two_pin.hpp"          // IWYU pragma: export
+#include "router/global_router.hpp"   // IWYU pragma: export
+
+// Congestion models: shared flow-field base, the CongestionModel
+// interface + factory, and the two concrete models from the paper.
+#include "congestion/field.hpp"           // IWYU pragma: export
+#include "congestion/fixed_grid.hpp"      // IWYU pragma: export
+#include "congestion/grid_spec.hpp"       // IWYU pragma: export
+#include "congestion/irregular_grid.hpp"  // IWYU pragma: export
+#include "congestion/model.hpp"           // IWYU pragma: export
+
+// Annealing engine and the Floorplanner facade.
+#include "anneal/annealer.hpp"    // IWYU pragma: export
+#include "core/floorplanner.hpp"  // IWYU pragma: export
+
+// Experiments, tables, SVG output.
+#include "exp/experiment.hpp"  // IWYU pragma: export
+#include "exp/svg.hpp"         // IWYU pragma: export
+#include "exp/table.hpp"       // IWYU pragma: export
+
+// Observability: counters, span timers, JSONL trace reports.
+#include "obs/report.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"   // IWYU pragma: export
+
+// Small utilities used throughout the public API.
+#include "util/env.hpp"          // IWYU pragma: export
+#include "util/rng.hpp"          // IWYU pragma: export
+#include "util/stopwatch.hpp"    // IWYU pragma: export
+#include "util/thread_pool.hpp"  // IWYU pragma: export

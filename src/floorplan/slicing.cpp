@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace ficon {
@@ -143,6 +144,7 @@ const SlicingResult& SlicingPacker::pack_cached_ref(
     build_nodes(tokens, cache_nodes_, cache_root_);
     cache_valid_ = true;
     ++cache_stats_.full_rebuilds;
+    obs::count(obs::Counter::kPackCacheFullRebuilds);
     assemble_into(cache_nodes_, cache_root_, cache_result_);
     return cache_result_;
   }
@@ -153,6 +155,10 @@ const SlicingResult& SlicingPacker::pack_cached_ref(
   // the children, so the result is identical to a full rebuild.
   ++cache_stats_.incremental_packs;
   cache_stats_.nodes_total += static_cast<long long>(tokens.size());
+  obs::count(obs::Counter::kPackCacheIncremental);
+  obs::count(obs::Counter::kPackCacheNodesTotal,
+             static_cast<long long>(tokens.size()));
+  const long long recomputed_before = cache_stats_.nodes_recomputed;
   dirty_.assign(tokens.size(), 0);
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const PolishToken& t = tokens[i];
@@ -179,6 +185,8 @@ const SlicingResult& SlicingPacker::pack_cached_ref(
     }
     dirty_[i] = d ? 1 : 0;
   }
+  obs::count(obs::Counter::kPackCacheNodesRecomputed,
+             cache_stats_.nodes_recomputed - recomputed_before);
   assemble_into(cache_nodes_, cache_root_, cache_result_);
   return cache_result_;
 }

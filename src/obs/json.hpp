@@ -1,0 +1,44 @@
+/// \file
+/// Minimal JSON value + recursive-descent parser, just enough to validate
+/// the trace JSONL schema (tests, `tools/trace_lint`) without an external
+/// dependency. Supports the full JSON grammar except `\u` surrogate
+/// pairs, which the trace writer never emits.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ficon::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parse a complete JSON document. Returns nullopt on any syntax error or
+/// trailing garbage; fills `error` (if non-null) with a position-tagged
+/// message.
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error = nullptr);
+
+}  // namespace ficon::obs

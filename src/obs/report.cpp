@@ -1,0 +1,386 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "exp/table.hpp"
+#include "obs/json.hpp"
+
+namespace ficon::obs {
+namespace {
+
+/// %.17g: enough digits for a double to round-trip bit-exactly.
+std::string fmt_double(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+struct CacheLine {
+  const char* name;
+  Counter hits;
+  Counter misses;
+  Counter evictions;
+  bool has_evictions;
+};
+
+constexpr CacheLine kCacheLines[] = {
+    {"score_memo", Counter::kScoreMemoHits, Counter::kScoreMemoMisses,
+     Counter::kScoreMemoEvictions, true},
+    {"pack_cached", Counter::kPackCacheIncremental,
+     Counter::kPackCacheFullRebuilds, Counter::kScoreMemoEvictions, false},
+    {"decomposer", Counter::kDecomposeNetsReused,
+     Counter::kDecomposeNetsRecomputed, Counter::kScoreMemoEvictions,
+     false},
+};
+
+struct StrategyLine {
+  const char* name;
+  Counter regions;
+  Counter fallbacks;
+  bool has_fallbacks;
+};
+
+constexpr StrategyLine kStrategyLines[] = {
+    {"theorem1", Counter::kIrRegionsTheorem1,
+     Counter::kIrTheorem1ExactFallbacks, true},
+    {"exact_per_region", Counter::kIrRegionsExact,
+     Counter::kIrTheorem1ExactFallbacks, false},
+    {"banded_exact", Counter::kIrRegionsBanded,
+     Counter::kIrTheorem1ExactFallbacks, false},
+    {"degenerate", Counter::kIrNetsDegenerate,
+     Counter::kIrTheorem1ExactFallbacks, false},
+};
+
+double ratio(long long part, long long whole) {
+  return whole > 0 ? static_cast<double>(part) / static_cast<double>(whole)
+                   : 0.0;
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& os, const TraceReport& report,
+                 const std::string& tool) {
+  os << "{\"type\":\"meta\",\"version\":" << kTraceSchemaVersion
+     << ",\"tool\":\"" << json_escape(tool) << "\"}\n";
+  for (int i = 0; i < kCounterCount; ++i) {
+    os << "{\"type\":\"counter\",\"name\":\""
+       << counter_name(static_cast<Counter>(i))
+       << "\",\"value\":" << report.counters[i] << "}\n";
+  }
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    os << "{\"type\":\"phase\",\"name\":\"" << phase_name(p)
+       << "\",\"calls\":" << report.phase_call_count(p)
+       << ",\"seconds\":" << fmt_double(report.phase_seconds(p)) << "}\n";
+  }
+  for (const CacheLine& c : kCacheLines) {
+    os << "{\"type\":\"cache\",\"name\":\"" << c.name
+       << "\",\"hits\":" << report.counter(c.hits)
+       << ",\"misses\":" << report.counter(c.misses) << ",\"evictions\":"
+       << (c.has_evictions ? report.counter(c.evictions) : 0) << "}\n";
+  }
+  for (const StrategyLine& s : kStrategyLines) {
+    os << "{\"type\":\"strategy\",\"name\":\"" << s.name
+       << "\",\"regions\":" << report.counter(s.regions)
+       << ",\"exact_fallbacks\":"
+       << (s.has_fallbacks ? report.counter(s.fallbacks) : 0) << "}\n";
+  }
+  for (const PoolThreadSample& t : report.pool_threads) {
+    os << "{\"type\":\"thread_pool\",\"thread\":\""
+       << json_escape(t.thread) << "\",\"tasks\":" << t.tasks
+       << ",\"queue_wait_seconds\":"
+       << fmt_double(static_cast<double>(t.queue_wait_ns) * 1e-9) << "}\n";
+  }
+  for (const AnnealEvent& e : report.anneal) {
+    os << "{\"type\":\"anneal_temperature\",\"run\":" << e.run
+       << ",\"step\":" << e.step
+       << ",\"temperature\":" << fmt_double(e.temperature)
+       << ",\"proposed\":" << e.proposed << ",\"accepted\":" << e.accepted
+       << ",\"uphill_accepted\":" << e.uphill_accepted;
+    for (int k = 1; k < kMoveKinds; ++k) {
+      os << ",\"proposed_m" << k << "\":" << e.proposed_by_kind[k];
+    }
+    for (int k = 1; k < kMoveKinds; ++k) {
+      os << ",\"accepted_m" << k << "\":" << e.accepted_by_kind[k];
+    }
+    os << ",\"accepted_delta\":" << fmt_double(e.accepted_delta_sum)
+       << ",\"current_cost\":" << fmt_double(e.current_cost)
+       << ",\"best_cost\":" << fmt_double(e.best_cost)
+       << ",\"stall\":" << e.stall << "}\n";
+  }
+  os << "{\"type\":\"anneal_summary\",\"runs\":"
+     << report.counter(Counter::kAnnealRuns) << ",\"temperatures\":"
+     << report.counter(Counter::kAnnealTemperatures) << ",\"proposed\":"
+     << report.counter(Counter::kAnnealMovesProposed) << ",\"accepted\":"
+     << report.counter(Counter::kAnnealMovesAccepted)
+     << ",\"uphill_accepted\":"
+     << report.counter(Counter::kAnnealUphillAccepted)
+     << ",\"stall_temperatures\":"
+     << report.counter(Counter::kAnnealStallTemperatures) << "}\n";
+}
+
+void write_solution_jsonl(std::ostream& os, double area, double wirelength,
+                          double congestion, double cost, double seconds) {
+  os << "{\"type\":\"solution\",\"area\":" << fmt_double(area)
+     << ",\"wirelength\":" << fmt_double(wirelength)
+     << ",\"congestion\":" << fmt_double(congestion)
+     << ",\"cost\":" << fmt_double(cost)
+     << ",\"seconds\":" << fmt_double(seconds) << "}\n";
+}
+
+void write_summary(std::ostream& os, const TraceReport& report) {
+  os << "telemetry summary\n";
+
+  TextTable anneal({"annealer", "value"});
+  anneal.add_row({"runs", std::to_string(
+                              report.counter(Counter::kAnnealRuns))});
+  anneal.add_row(
+      {"temperatures",
+       std::to_string(report.counter(Counter::kAnnealTemperatures))});
+  anneal.add_row(
+      {"moves proposed",
+       std::to_string(report.counter(Counter::kAnnealMovesProposed))});
+  anneal.add_row(
+      {"moves accepted",
+       std::to_string(report.counter(Counter::kAnnealMovesAccepted))});
+  anneal.add_row({"accept rate %",
+                  fmt_fixed(100.0 * ratio(report.counter(
+                                              Counter::kAnnealMovesAccepted),
+                                          report.counter(
+                                              Counter::kAnnealMovesProposed)),
+                            2)});
+  anneal.add_row(
+      {"uphill accepted",
+       std::to_string(report.counter(Counter::kAnnealUphillAccepted))});
+  anneal.add_row(
+      {"stall temperatures",
+       std::to_string(report.counter(Counter::kAnnealStallTemperatures))});
+  anneal.print(os);
+  os << "\n";
+
+  TextTable caches({"cache", "hits", "misses", "evictions", "hit %"});
+  for (const CacheLine& c : kCacheLines) {
+    const long long hits = report.counter(c.hits);
+    const long long misses = report.counter(c.misses);
+    caches.add_row(
+        {c.name, std::to_string(hits), std::to_string(misses),
+         std::to_string(c.has_evictions ? report.counter(c.evictions) : 0),
+         fmt_fixed(100.0 * ratio(hits, hits + misses), 2)});
+  }
+  caches.print(os);
+  os << "\n";
+
+  TextTable strategies({"strategy", "regions", "exact fallbacks"});
+  for (const StrategyLine& s : kStrategyLines) {
+    strategies.add_row(
+        {s.name, std::to_string(report.counter(s.regions)),
+         std::to_string(s.has_fallbacks ? report.counter(s.fallbacks)
+                                        : 0)});
+  }
+  strategies.add_row(
+      {"certain (pin/full-span)",
+       std::to_string(report.counter(Counter::kIrRegionsCertain)), "0"});
+  strategies.print(os);
+  os << "\n";
+
+  TextTable phases({"phase", "calls", "seconds"});
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    phases.add_row({phase_name(p),
+                    std::to_string(report.phase_call_count(p)),
+                    fmt_fixed(report.phase_seconds(p), 3)});
+  }
+  phases.print(os);
+  os << "\n";
+
+  TextTable pool({"thread", "tasks", "queue wait s"});
+  for (const PoolThreadSample& t : report.pool_threads) {
+    pool.add_row({t.thread, std::to_string(t.tasks),
+                  fmt_fixed(static_cast<double>(t.queue_wait_ns) * 1e-9,
+                            3)});
+  }
+  if (pool.row_count() > 0) pool.print(os);
+}
+
+namespace {
+
+struct Field {
+  const char* name;
+  JsonValue::Type type;
+};
+
+struct RecordSchema {
+  const char* type;
+  std::vector<Field> fields;
+};
+
+const std::vector<RecordSchema>& trace_schema() {
+  using T = JsonValue::Type;
+  static const std::vector<RecordSchema> schema = {
+      {"meta", {{"version", T::kNumber}, {"tool", T::kString}}},
+      {"counter", {{"name", T::kString}, {"value", T::kNumber}}},
+      {"phase",
+       {{"name", T::kString},
+        {"calls", T::kNumber},
+        {"seconds", T::kNumber}}},
+      {"cache",
+       {{"name", T::kString},
+        {"hits", T::kNumber},
+        {"misses", T::kNumber},
+        {"evictions", T::kNumber}}},
+      {"strategy",
+       {{"name", T::kString},
+        {"regions", T::kNumber},
+        {"exact_fallbacks", T::kNumber}}},
+      {"thread_pool",
+       {{"thread", T::kString},
+        {"tasks", T::kNumber},
+        {"queue_wait_seconds", T::kNumber}}},
+      {"anneal_temperature",
+       {{"run", T::kNumber},
+        {"step", T::kNumber},
+        {"temperature", T::kNumber},
+        {"proposed", T::kNumber},
+        {"accepted", T::kNumber},
+        {"uphill_accepted", T::kNumber},
+        {"proposed_m1", T::kNumber},
+        {"proposed_m2", T::kNumber},
+        {"proposed_m3", T::kNumber},
+        {"accepted_m1", T::kNumber},
+        {"accepted_m2", T::kNumber},
+        {"accepted_m3", T::kNumber},
+        {"accepted_delta", T::kNumber},
+        {"current_cost", T::kNumber},
+        {"best_cost", T::kNumber},
+        {"stall", T::kNumber}}},
+      {"anneal_summary",
+       {{"runs", T::kNumber},
+        {"temperatures", T::kNumber},
+        {"proposed", T::kNumber},
+        {"accepted", T::kNumber},
+        {"uphill_accepted", T::kNumber},
+        {"stall_temperatures", T::kNumber}}},
+      {"solution",
+       {{"area", T::kNumber},
+        {"wirelength", T::kNumber},
+        {"congestion", T::kNumber},
+        {"cost", T::kNumber},
+        {"seconds", T::kNumber}}},
+  };
+  return schema;
+}
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool validate_trace_line(const std::string& line, std::string* error) {
+  std::string parse_error;
+  const std::optional<JsonValue> value = parse_json(line, &parse_error);
+  if (!value.has_value()) return set_error(error, parse_error);
+  if (!value->is_object()) {
+    return set_error(error, "trace record is not a JSON object");
+  }
+  const JsonValue* type = value->find("type");
+  if (type == nullptr || !type->is_string()) {
+    return set_error(error, "trace record lacks a string \"type\" field");
+  }
+  for (const RecordSchema& record : trace_schema()) {
+    if (type->string != record.type) continue;
+    for (const Field& field : record.fields) {
+      const JsonValue* member = value->find(field.name);
+      if (member == nullptr) {
+        return set_error(error, "record \"" + type->string +
+                                    "\" lacks field \"" + field.name +
+                                    "\"");
+      }
+      if (member->type != field.type) {
+        return set_error(error, "record \"" + type->string + "\" field \"" +
+                                    field.name + "\" has the wrong type");
+      }
+    }
+    return true;
+  }
+  return set_error(error, "unknown record type \"" + type->string + "\"");
+}
+
+bool validate_trace(std::istream& is, std::string* error) {
+  std::string line;
+  long long line_number = 0;
+  long long records = 0;
+  bool meta_seen = false;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string line_error;
+    if (!validate_trace_line(line, &line_error)) {
+      return set_error(error, "line " + std::to_string(line_number) + ": " +
+                                  line_error);
+    }
+    ++records;
+    if (records == 1) {
+      const JsonValue value = *parse_json(line);
+      const JsonValue* type = value.find("type");
+      const JsonValue* version = value.find("version");
+      if (type == nullptr || type->string != "meta") {
+        return set_error(error, "first record must be a meta line");
+      }
+      if (version == nullptr ||
+          version->number !=
+              static_cast<double>(kTraceSchemaVersion)) {
+        return set_error(error, "unsupported trace schema version");
+      }
+      meta_seen = true;
+    }
+  }
+  if (!meta_seen) return set_error(error, "trace contains no records");
+  return true;
+}
+
+void emit_env_trace(std::ostream& os, const std::string& tool) {
+  if (!trace_enabled()) return;
+  const TraceReport report = capture();
+  write_summary(os, report);
+  const std::string path = trace_output_path();
+  if (!path.empty()) {
+    std::ofstream out(path);
+    if (out) {
+      write_jsonl(out, report, tool);
+      os << "# trace written to " << path << "\n";
+    } else {
+      os << "# trace: could not open " << path << " for writing\n";
+    }
+  }
+}
+
+}  // namespace ficon::obs

@@ -1,0 +1,65 @@
+/// \file
+/// Trace export: JSON Lines for machines, a `TextTable` summary for
+/// humans, and a validator for the JSONL schema.
+///
+/// JSONL schema (one object per line, discriminated by "type"):
+///
+///   {"type":"meta","version":1,"tool":"..."}
+///   {"type":"counter","name":"...","value":N}
+///   {"type":"phase","name":"pack|decompose|congestion",
+///    "calls":N,"seconds":S}
+///   {"type":"cache","name":"score_memo|pack_cached|decomposer",
+///    "hits":N,"misses":N,"evictions":N}
+///   {"type":"strategy",
+///    "name":"theorem1|exact_per_region|banded_exact|degenerate",
+///    "regions":N,"exact_fallbacks":N}
+///   {"type":"thread_pool","thread":"...","tasks":N,
+///    "queue_wait_seconds":S}
+///   {"type":"anneal_temperature","run":N,"step":N,"temperature":T,
+///    "proposed":N,"accepted":N,"uphill_accepted":N,
+///    "proposed_m1":N,...,"accepted_m3":N,"accepted_delta":D,
+///    "current_cost":C,"best_cost":B,"stall":N}
+///   {"type":"anneal_summary","runs":N,"temperatures":N,"proposed":N,
+///    "accepted":N,"uphill_accepted":N,"stall_temperatures":N}
+///   {"type":"solution","area":A,"wirelength":W,"congestion":C,
+///    "cost":K,"seconds":S}   (appended by tools, optional)
+///
+/// Doubles are printed with %.17g so values round-trip bit-exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace ficon::obs {
+
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// Write the full report as JSON Lines. `tool` goes into the meta line.
+void write_jsonl(std::ostream& os, const TraceReport& report,
+                 const std::string& tool);
+
+/// Extra "solution" record appended by CLI tools after a run.
+void write_solution_jsonl(std::ostream& os, double area, double wirelength,
+                          double congestion, double cost, double seconds);
+
+/// Human summary (cache hit ratios, strategy mix, phase timings,
+/// annealer totals, per-thread pool activity) via `src/exp/table`.
+void write_summary(std::ostream& os, const TraceReport& report);
+
+/// Validate one JSONL line against the schema. Returns false and fills
+/// `error` (if non-null) on unknown type, missing field, or wrong field
+/// kind.
+bool validate_trace_line(const std::string& line, std::string* error);
+
+/// Validate a whole stream: every non-empty line must pass, and the
+/// first line must be a meta record with the current schema version.
+bool validate_trace(std::istream& is, std::string* error);
+
+/// Print the human summary and, when `FICON_TRACE` names an output path,
+/// also write the JSONL file there. Shared by the benches and the CLI's
+/// no-path mode.
+void emit_env_trace(std::ostream& os, const std::string& tool);
+
+}  // namespace ficon::obs

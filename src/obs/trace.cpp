@@ -1,0 +1,241 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace ficon::obs {
+namespace {
+
+/// One sink per thread. Counters are relaxed atomics: they are pure
+/// statistics, never used for synchronization, and `capture()` runs at
+/// join points where the producing threads are quiescent.
+struct ThreadSink {
+  std::array<std::atomic<long long>, kCounterCount> counters{};
+  std::array<std::atomic<long long>, kPhaseCount> phase_ns{};
+  std::array<std::atomic<long long>, kPhaseCount> phase_calls{};
+  std::mutex events_mutex;
+  std::vector<AnnealEvent> events;
+  std::string label;  ///< Guarded by the registry mutex.
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadSink>> sinks;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+ThreadSink& local_sink() {
+  thread_local std::shared_ptr<ThreadSink> sink = [] {
+    auto s = std::make_shared<ThreadSink>();
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    s->label = "thread-" + std::to_string(r.sinks.size());
+    r.sinks.push_back(s);
+    return s;
+  }();
+  return *sink;
+}
+
+struct TraceConfig {
+  bool enabled = false;
+  std::string path;
+};
+
+const TraceConfig& trace_config() {
+  static const TraceConfig config = [] {
+    TraceConfig c;
+    const char* value = std::getenv("FICON_TRACE");
+    if (value != nullptr && *value != '\0') {
+      const std::string v(value);
+      if (v != "0" && v != "false" && v != "off") {
+        c.enabled = true;
+        if (v != "1" && v != "true" && v != "on") c.path = v;
+      }
+    }
+    return c;
+  }();
+  return config;
+}
+
+std::atomic<int> g_next_run{0};
+
+// Reads FICON_TRACE once at static-init time so instrumented code sees
+// the right toggle before main() runs.
+struct EnvInit {
+  EnvInit() {
+    detail::g_enabled.store(trace_config().enabled,
+                            std::memory_order_relaxed);
+  }
+};
+EnvInit g_env_init;
+
+thread_local int g_move_kind = 0;
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+void count_slow(Counter c, long long n) {
+  local_sink().counters[static_cast<int>(c)].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+void add_phase_slow(Phase p, long long ns) {
+  ThreadSink& sink = local_sink();
+  sink.phase_ns[static_cast<int>(p)].fetch_add(ns,
+                                               std::memory_order_relaxed);
+  sink.phase_calls[static_cast<int>(p)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kAnnealRuns: return "anneal_runs";
+    case Counter::kAnnealTemperatures: return "anneal_temperatures";
+    case Counter::kAnnealMovesProposed: return "anneal_moves_proposed";
+    case Counter::kAnnealMovesAccepted: return "anneal_moves_accepted";
+    case Counter::kAnnealUphillAccepted: return "anneal_uphill_accepted";
+    case Counter::kAnnealStallTemperatures:
+      return "anneal_stall_temperatures";
+    case Counter::kScoreMemoHits: return "score_memo_hits";
+    case Counter::kScoreMemoMisses: return "score_memo_misses";
+    case Counter::kScoreMemoEvictions: return "score_memo_evictions";
+    case Counter::kPackCacheIncremental: return "pack_cache_incremental";
+    case Counter::kPackCacheFullRebuilds:
+      return "pack_cache_full_rebuilds";
+    case Counter::kPackCacheNodesRecomputed:
+      return "pack_cache_nodes_recomputed";
+    case Counter::kPackCacheNodesTotal: return "pack_cache_nodes_total";
+    case Counter::kDecomposeCalls: return "decompose_calls";
+    case Counter::kDecomposeNetsReused: return "decompose_nets_reused";
+    case Counter::kDecomposeNetsRecomputed:
+      return "decompose_nets_recomputed";
+    case Counter::kIrEvaluations: return "ir_evaluations";
+    case Counter::kIrNetsScored: return "ir_nets_scored";
+    case Counter::kIrNetsDegenerate: return "ir_nets_degenerate";
+    case Counter::kIrRegionsTheorem1: return "ir_regions_theorem1";
+    case Counter::kIrRegionsExact: return "ir_regions_exact";
+    case Counter::kIrRegionsBanded: return "ir_regions_banded";
+    case Counter::kIrRegionsCertain: return "ir_regions_certain";
+    case Counter::kIrTheorem1ExactFallbacks:
+      return "ir_theorem1_exact_fallbacks";
+    case Counter::kFixedEvaluations: return "fixed_evaluations";
+    case Counter::kFixedNetsScored: return "fixed_nets_scored";
+    case Counter::kPoolJobs: return "pool_jobs";
+    case Counter::kPoolBlocks: return "pool_blocks";
+    case Counter::kPoolInlineBlocks: return "pool_inline_blocks";
+    case Counter::kPoolTasks: return "pool_tasks";
+    case Counter::kPoolQueueWaitNs: return "pool_queue_wait_ns";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kPack: return "pack";
+    case Phase::kDecompose: return "decompose";
+    case Phase::kCongestion: return "congestion";
+    case Phase::kCount: break;
+  }
+  return "unknown";
+}
+
+void set_trace_enabled(bool enabled) {
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::string trace_output_path() { return trace_config().path; }
+
+void note_move_kind(int kind) { g_move_kind = kind; }
+
+int take_move_kind() {
+  const int kind = g_move_kind;
+  g_move_kind = 0;
+  return kind;
+}
+
+int next_anneal_run() {
+  return g_next_run.fetch_add(1, std::memory_order_relaxed);
+}
+
+void record_anneal(const AnnealEvent& event) {
+  ThreadSink& sink = local_sink();
+  const std::lock_guard<std::mutex> lock(sink.events_mutex);
+  sink.events.push_back(event);
+}
+
+void set_thread_label(const std::string& label) {
+  ThreadSink& sink = local_sink();  // Register before taking the lock.
+  const std::lock_guard<std::mutex> lock(registry().mutex);
+  sink.label = label;
+}
+
+TraceReport capture() {
+  TraceReport report;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const std::shared_ptr<ThreadSink>& sink : r.sinks) {
+    for (int i = 0; i < kCounterCount; ++i) {
+      report.counters[i] +=
+          sink->counters[i].load(std::memory_order_relaxed);
+    }
+    for (int i = 0; i < kPhaseCount; ++i) {
+      report.phase_ns[i] +=
+          sink->phase_ns[i].load(std::memory_order_relaxed);
+      report.phase_calls[i] +=
+          sink->phase_calls[i].load(std::memory_order_relaxed);
+    }
+    const long long tasks =
+        sink->counters[static_cast<int>(Counter::kPoolTasks)].load(
+            std::memory_order_relaxed);
+    const long long wait_ns =
+        sink->counters[static_cast<int>(Counter::kPoolQueueWaitNs)].load(
+            std::memory_order_relaxed);
+    if (tasks > 0 || wait_ns > 0) {
+      report.pool_threads.push_back({sink->label, tasks, wait_ns});
+    }
+    {
+      const std::lock_guard<std::mutex> events_lock(sink->events_mutex);
+      report.anneal.insert(report.anneal.end(), sink->events.begin(),
+                           sink->events.end());
+    }
+  }
+  std::sort(report.pool_threads.begin(), report.pool_threads.end(),
+            [](const PoolThreadSample& a, const PoolThreadSample& b) {
+              return a.thread < b.thread;
+            });
+  std::stable_sort(report.anneal.begin(), report.anneal.end(),
+                   [](const AnnealEvent& a, const AnnealEvent& b) {
+                     return a.run != b.run ? a.run < b.run
+                                           : a.step < b.step;
+                   });
+  return report;
+}
+
+void reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const std::shared_ptr<ThreadSink>& sink : r.sinks) {
+    for (auto& c : sink->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& p : sink->phase_ns) p.store(0, std::memory_order_relaxed);
+    for (auto& p : sink->phase_calls) {
+      p.store(0, std::memory_order_relaxed);
+    }
+    const std::lock_guard<std::mutex> events_lock(sink->events_mutex);
+    sink->events.clear();
+  }
+  g_next_run.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ficon::obs

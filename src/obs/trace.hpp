@@ -1,0 +1,222 @@
+/// \file
+/// Low-overhead, deterministic telemetry for the annealing/evaluation
+/// pipeline.
+///
+/// Design goals, in priority order:
+///
+///  1. **Near-zero cost when disabled.** Every instrumentation site goes
+///     through `trace_enabled()`, a single relaxed atomic load plus a
+///     predictable branch. No allocation, no clock read, no lock is
+///     reached unless tracing is on (`FICON_TRACE`).
+///  2. **Never perturbs results.** Counters and timers are *observers*:
+///     they read the pipeline, the pipeline never reads them. Each thread
+///     writes to its own sink (registered once, on first use), so there is
+///     no cross-thread contention that could reorder floating-point
+///     reductions or change scheduling-visible behaviour. Aggregation
+///     happens only in `capture()`, at a join point.
+///  3. **Thread-safe under TSan.** Sinks are `std::atomic` counters with
+///     relaxed ordering (they are statistics, not synchronization);
+///     event vectors are mutex-guarded; the registry of sinks is
+///     mutex-guarded and holds `shared_ptr`s so a sink outlives its
+///     thread.
+///
+/// The `FICON_TRACE` environment variable controls the initial state:
+/// unset/"0"/"false"/"off" leaves tracing disabled; "1"/"true"/"on"
+/// enables it; any other value enables it *and* names a JSONL output
+/// path that tools (`ficon_cli`, the benches) honour via
+/// `trace_output_path()`. Tests flip the toggle at runtime with
+/// `set_trace_enabled()`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace ficon::obs {
+
+/// Every typed counter in the system. Names (see `counter_name`) are
+/// stable identifiers used in the JSONL export — extend at the end of a
+/// section rather than reordering.
+enum class Counter : int {
+  // Annealer.
+  kAnnealRuns = 0,
+  kAnnealTemperatures,
+  kAnnealMovesProposed,
+  kAnnealMovesAccepted,
+  kAnnealUphillAccepted,
+  kAnnealStallTemperatures,
+  // Incremental-pipeline caches.
+  kScoreMemoHits,
+  kScoreMemoMisses,
+  kScoreMemoEvictions,
+  kPackCacheIncremental,
+  kPackCacheFullRebuilds,
+  kPackCacheNodesRecomputed,
+  kPackCacheNodesTotal,
+  kDecomposeCalls,
+  kDecomposeNetsReused,
+  kDecomposeNetsRecomputed,
+  // Irregular-grid congestion model.
+  kIrEvaluations,
+  kIrNetsScored,
+  kIrNetsDegenerate,
+  kIrRegionsTheorem1,
+  kIrRegionsExact,
+  kIrRegionsBanded,
+  kIrRegionsCertain,
+  kIrTheorem1ExactFallbacks,
+  // Fixed-grid (judging) congestion model.
+  kFixedEvaluations,
+  kFixedNetsScored,
+  // Thread pool.
+  kPoolJobs,
+  kPoolBlocks,
+  kPoolInlineBlocks,
+  kPoolTasks,
+  kPoolQueueWaitNs,
+  kCount,
+};
+
+inline constexpr int kCounterCount = static_cast<int>(Counter::kCount);
+
+/// Stable snake_case identifier for the JSONL export.
+const char* counter_name(Counter c);
+
+/// Facade phases timed by `ScopedPhase`.
+enum class Phase : int {
+  kPack = 0,
+  kDecompose,
+  kCongestion,
+  kCount,
+};
+
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kCount);
+
+const char* phase_name(Phase p);
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+void count_slow(Counter c, long long n);
+void add_phase_slow(Phase p, long long ns);
+
+}  // namespace detail
+
+/// One relaxed load + branch; the only cost paid when tracing is off.
+inline bool trace_enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Runtime toggle (tests use this; tools inherit `FICON_TRACE`).
+void set_trace_enabled(bool enabled);
+
+/// JSONL output path named by `FICON_TRACE` (empty when the variable is
+/// unset or a plain on/off token).
+std::string trace_output_path();
+
+/// Add `n` to counter `c` on the calling thread's sink. No-op (one load,
+/// one branch) when tracing is disabled.
+inline void count(Counter c, long long n = 1) {
+  if (trace_enabled()) detail::count_slow(c, n);
+}
+
+/// RAII span timer for a facade phase. Reads the clock only when tracing
+/// is enabled at construction.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase phase)
+      : phase_(phase), active_(trace_enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedPhase() {
+    if (active_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      detail::add_phase_slow(phase_, ns);
+    }
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Phase phase_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Move-kind side channel. The neighbour functors return the move kind
+/// (1..3, 0 = none) from `random_move`, but the annealer's accept loop is
+/// representation-agnostic; the functor deposits the kind here and the
+/// annealer collects it with `take_move_kind()`. Thread-local, so
+/// concurrent annealing runs (seed sweeps) do not interleave.
+void note_move_kind(int kind);
+int take_move_kind();
+
+inline constexpr int kMoveKinds = 4;  // index 0 = unknown/none, 1..3 = M1..M3.
+
+/// Per-temperature annealer record.
+struct AnnealEvent {
+  int run = 0;   ///< Which annealer run (monotonic id within a process).
+  int step = 0;  ///< Temperature step within the run.
+  double temperature = 0.0;
+  long long proposed = 0;
+  long long accepted = 0;
+  long long uphill_accepted = 0;
+  std::array<long long, kMoveKinds> proposed_by_kind{};
+  std::array<long long, kMoveKinds> accepted_by_kind{};
+  double accepted_delta_sum = 0.0;  ///< Sum of accepted cost deltas.
+  double current_cost = 0.0;
+  double best_cost = 0.0;
+  int stall = 0;  ///< Stall counter after this temperature.
+};
+
+/// Monotonic id for the next annealer run (used as AnnealEvent::run).
+int next_anneal_run();
+
+/// Record a per-temperature event on the calling thread's sink.
+void record_anneal(const AnnealEvent& event);
+
+/// Label the calling thread in thread-pool samples ("main", "worker-0",
+/// ...). Threads that never call this keep a registration-order label.
+void set_thread_label(const std::string& label);
+
+/// Per-thread activity attributed by the thread pool.
+struct PoolThreadSample {
+  std::string thread;
+  long long tasks = 0;
+  long long queue_wait_ns = 0;
+};
+
+/// Aggregated snapshot of every sink, merged at a join point.
+struct TraceReport {
+  std::array<long long, kCounterCount> counters{};
+  std::array<long long, kPhaseCount> phase_ns{};
+  std::array<long long, kPhaseCount> phase_calls{};
+  std::vector<PoolThreadSample> pool_threads;
+  std::vector<AnnealEvent> anneal;  ///< Sorted by (run, step).
+
+  long long counter(Counter c) const {
+    return counters[static_cast<int>(c)];
+  }
+  double phase_seconds(Phase p) const {
+    return static_cast<double>(phase_ns[static_cast<int>(p)]) * 1e-9;
+  }
+  long long phase_call_count(Phase p) const {
+    return phase_calls[static_cast<int>(p)];
+  }
+};
+
+/// Merge every registered sink into one report. Safe to call while other
+/// threads are idle (the pipeline's own join points); not intended to be
+/// called concurrently with active instrumentation.
+TraceReport capture();
+
+/// Zero all sinks and the run-id counter (the registry itself persists —
+/// thread sinks are registered once per thread).
+void reset();
+
+}  // namespace ficon::obs

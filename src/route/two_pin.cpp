@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace ficon {
@@ -177,6 +178,8 @@ std::span<const TwoPinNet> TwoPinDecomposer::decompose(
     cached_rotated_[m] = placement.rotated[m] ? 1 : 0;
   }
 
+  long long reused = 0;
+  long long recomputed = 0;
   for (std::size_t n = 0; n < netlist.net_count(); ++n) {
     const Net& net = netlist.nets()[n];
     // Fast path: every pin's module is clean (and the chip is unchanged
@@ -191,7 +194,10 @@ std::span<const TwoPinNet> TwoPinDecomposer::decompose(
         }
       }
     }
-    if (clean) continue;
+    if (clean) {
+      ++reused;
+      continue;
+    }
     Point* cached = cached_pins_.data() + pin_offset_[n];
     // Gather this net's pin positions, diffing against the previous call
     // in the same pass (write-through): a dirty module can still leave a
@@ -202,7 +208,11 @@ std::span<const TwoPinNet> TwoPinDecomposer::decompose(
       if (same && (p.x != cached[i].x || p.y != cached[i].y)) same = false;
       cached[i] = p;
     }
-    if (same) continue;  // unchanged pins: the cached edges already match
+    if (same) {  // unchanged pins: the cached edges already match
+      ++reused;
+      continue;
+    }
+    ++recomputed;
     const std::span<const Point> pins(cached, net.pins.size());
     TwoPinNet* out = nets_.data() + edge_offset_[n];
     if (method == Decomposition::kMst) {
@@ -212,6 +222,11 @@ std::span<const TwoPinNet> TwoPinDecomposer::decompose(
     }
   }
   pins_valid_ = true;
+  if (obs::trace_enabled()) {
+    obs::count(obs::Counter::kDecomposeCalls);
+    obs::count(obs::Counter::kDecomposeNetsReused, reused);
+    obs::count(obs::Counter::kDecomposeNetsRecomputed, recomputed);
+  }
   return nets_;
 }
 

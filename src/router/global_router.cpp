@@ -8,28 +8,6 @@
 
 namespace ficon {
 
-double RoutedCongestion::max_usage() const {
-  return usage_.empty() ? 0.0 : max_of(usage_);
-}
-
-double RoutedCongestion::top_fraction_usage(double fraction) const {
-  return top_fraction_mean(usage_, fraction);
-}
-
-double RoutedCongestion::overflow(double capacity) const {
-  double total = 0.0;
-  for (const double u : usage_) total += std::max(0.0, u - capacity);
-  return total;
-}
-
-long long RoutedCongestion::overflowed_cells(double capacity) const {
-  long long count = 0;
-  for (const double u : usage_) {
-    if (u > capacity) ++count;
-  }
-  return count;
-}
-
 GlobalRouter::GlobalRouter(RouterParams params) : params_(params) {
   FICON_REQUIRE(params.pitch > 0.0, "pitch must be positive");
   FICON_REQUIRE(params.capacity > 0.0, "capacity must be positive");

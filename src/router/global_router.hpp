@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "congestion/field.hpp"
 #include "congestion/grid_spec.hpp"
 #include "route/two_pin.hpp"
 
@@ -35,38 +36,34 @@ struct RouterParams {
   int ripup_passes = 1;     ///< re-route rounds for overflowed nets
 };
 
-/// Result of routing one workload: per-cell usage plus summary metrics.
-class RoutedCongestion {
+/// Result of routing one workload: per-cell usage plus summary metrics
+/// (max, top-fraction, overflow — the latter two inherited from the
+/// shared FlowField surface).
+class RoutedCongestion : public FlowField {
  public:
   RoutedCongestion(GridSpec grid)
-      : grid_(grid),
-        usage_(static_cast<std::size_t>(grid.cell_count()), 0.0) {}
+      : FlowField(grid.nx(), grid.ny()), grid_(grid) {}
 
   const GridSpec& grid() const { return grid_; }
-  double usage(int cx, int cy) const { return usage_[index(cx, cy)]; }
-  void add_usage(int cx, int cy, double u) { usage_[index(cx, cy)] += u; }
-  const std::vector<double>& usage() const { return usage_; }
+  double usage(int cx, int cy) const { return value_at(cx, cy); }
+  void add_usage(int cx, int cy, double u) { add_value(cx, cy, u); }
+  const std::vector<double>& usage() const { return values(); }
 
-  /// Max cell usage over the chip.
-  double max_usage() const;
-  /// Mean usage of the top `fraction` most used cells (comparable to the
-  /// estimators' top-10% cost).
-  double top_fraction_usage(double fraction = 0.10) const;
-  /// Total overflow: sum over cells of max(0, usage - capacity).
-  double overflow(double capacity) const;
-  /// Number of cells with usage above capacity.
-  long long overflowed_cells(double capacity) const;
-
- private:
-  std::size_t index(int cx, int cy) const {
-    FICON_REQUIRE(cx >= 0 && cx < grid_.nx() && cy >= 0 && cy < grid_.ny(),
-                  "cell index out of range");
-    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(grid_.nx()) +
-           static_cast<std::size_t>(cx);
+  Rect cell_rect(int cx, int cy) const override {
+    return grid_.cell_rect(cx, cy);
   }
 
+  /// Max cell usage over the chip.
+  double max_usage() const { return max_value(); }
+  /// Mean usage of the top `fraction` most used cells (comparable to the
+  /// estimators' top-10% cost).
+  double top_fraction_usage(double fraction = 0.10) const {
+    return top_fraction_mean(values(), fraction);
+  }
+  // overflow(capacity) / overflowed_cells(capacity) come from FlowField.
+
+ private:
   GridSpec grid_;
-  std::vector<double> usage_;
 };
 
 class GlobalRouter {

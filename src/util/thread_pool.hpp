@@ -25,15 +25,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
 
@@ -49,8 +52,10 @@ class ThreadPool {
   explicit ThreadPool(int threads) : thread_count_(threads < 1 ? 1 : threads) {
     workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));
     for (int i = 0; i < thread_count_ - 1; ++i) {
-      workers_.emplace_back(
-          [this](std::stop_token stop) { worker_loop(stop); });
+      workers_.emplace_back([this, i](std::stop_token stop) {
+        obs::set_thread_label("worker-" + std::to_string(i));
+        worker_loop(stop);
+      });
     }
   }
 
@@ -79,13 +84,17 @@ class ThreadPool {
     FICON_REQUIRE(blocks >= 0, "negative block count");
     if (blocks == 0) return;
     if (blocks == 1 || thread_count_ == 1 || inside_run()) {
+      obs::count(obs::Counter::kPoolInlineBlocks, blocks);
       for (int b = 0; b < blocks; ++b) fn(b);
       return;
     }
 
+    obs::count(obs::Counter::kPoolJobs);
+    obs::count(obs::Counter::kPoolBlocks, blocks);
     Job job;
     job.fn = &fn;
     job.blocks = blocks;
+    if (obs::trace_enabled()) job.dispatch_ns = steady_now_ns();
     {
       std::lock_guard<std::mutex> lock(mu_);
       job_ = &job;
@@ -139,12 +148,19 @@ class ThreadPool {
   struct Job {
     const std::function<void(int)>* fn = nullptr;
     int blocks = 0;
+    long long dispatch_ns = 0;   ///< dispatch time (telemetry; 0 = untraced)
     std::atomic<int> next{0};    ///< next block to claim
     std::atomic<int> done{0};    ///< blocks finished
     std::atomic<int> active{0};  ///< workers currently inside drain()
     std::mutex error_mu;
     std::exception_ptr error;
   };
+
+  static long long steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
 
   /// True while this thread executes blocks of some run() — used to route
   /// nested run() calls to the inline path.
@@ -162,6 +178,7 @@ class ThreadPool {
     while (true) {
       const int b = job.next.fetch_add(1, std::memory_order_relaxed);
       if (b >= job.blocks) return;
+      obs::count(obs::Counter::kPoolTasks);
       try {
         (*job.fn)(b);
       } catch (...) {
@@ -193,6 +210,13 @@ class ThreadPool {
         if (job != nullptr) job->active.fetch_add(1, std::memory_order_relaxed);
       }
       if (job != nullptr) {
+        // Queue wait: dispatch-to-pickup latency, attributed to this
+        // worker's sink (dispatch_ns is only stamped while tracing).
+        if (job->dispatch_ns != 0 && obs::trace_enabled()) {
+          const long long wait = steady_now_ns() - job->dispatch_ns;
+          obs::count(obs::Counter::kPoolQueueWaitNs,
+                     wait > 0 ? wait : 0);
+        }
         drain(*job);
         std::lock_guard<std::mutex> lock(mu_);
         job->active.fetch_sub(1, std::memory_order_relaxed);

@@ -1,0 +1,224 @@
+// Observability layer: the telemetry must be a pure observer (enabling it
+// never changes results, at any thread count), its counters must agree
+// with the per-component stats they mirror, and the JSONL export must
+// round-trip through the validator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "congestion/score_cache.hpp"
+#include "ficon.hpp"
+
+namespace ficon {
+namespace {
+
+/// Every test starts from zeroed sinks and leaves tracing disabled so the
+/// rest of the suite runs untraced.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_trace_enabled(false);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::set_trace_enabled(false);
+    obs::reset();
+    ThreadPool::set_global_threads(ThreadPool::env_threads());
+  }
+};
+
+FloorplanOptions small_run_options() {
+  FloorplanOptions options;
+  options.seed = 7;
+  options.effort = 0.05;
+  options.objective.alpha = 1.0;
+  options.objective.beta = 1.0;
+  options.objective.gamma = 0.4;
+  options.objective.model = CongestionModelKind::kIrregularGrid;
+  options.objective.irregular.grid_w = 30.0;
+  options.objective.irregular.grid_h = 30.0;
+  return options;
+}
+
+TEST_F(ObsTest, TracingIsBitIdenticalAcrossToggleAndThreadCounts) {
+  const Netlist netlist = make_mcnc("apte");
+  const FloorplanOptions options = small_run_options();
+
+  // Reference: tracing off, single thread.
+  ThreadPool::set_global_threads(1);
+  const FloorplanSolution reference = Floorplanner(netlist, options).run();
+
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool::set_global_threads(threads);
+    for (const bool tracing : {false, true}) {
+      obs::set_trace_enabled(tracing);
+      obs::reset();
+      const FloorplanSolution sol = Floorplanner(netlist, options).run();
+      EXPECT_EQ(sol.metrics.cost, reference.metrics.cost)
+          << "threads=" << threads << " tracing=" << tracing;
+      EXPECT_EQ(sol.metrics.area, reference.metrics.area)
+          << "threads=" << threads << " tracing=" << tracing;
+      EXPECT_EQ(sol.metrics.wirelength, reference.metrics.wirelength)
+          << "threads=" << threads << " tracing=" << tracing;
+      EXPECT_EQ(sol.metrics.congestion, reference.metrics.congestion)
+          << "threads=" << threads << " tracing=" << tracing;
+      obs::set_trace_enabled(false);
+    }
+  }
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  const Netlist netlist = make_mcnc("apte");
+  ASSERT_FALSE(obs::trace_enabled());
+  (void)Floorplanner(netlist, small_run_options()).run();
+  const obs::TraceReport report = obs::capture();
+  for (int c = 0; c < obs::kCounterCount; ++c) {
+    EXPECT_EQ(report.counters[static_cast<std::size_t>(c)], 0)
+        << obs::counter_name(static_cast<obs::Counter>(c));
+  }
+  EXPECT_TRUE(report.anneal.empty());
+}
+
+TEST_F(ObsTest, ScoreMemoCountersMatchItsOwnStats) {
+  obs::set_trace_enabled(true);
+
+  // Mirrors ScoreMemo.FindReturnsInsertedValue: one cold miss, one hit.
+  ScoreMemo memo;
+  memo.configure(4, 1);
+  const ScoreMemo::Key key{1, 2, 3};
+  EXPECT_EQ(memo.find(key), nullptr);
+  memo.insert(key, ScoreMemo::Value{0.25});
+  EXPECT_NE(memo.find(key), nullptr);
+
+  obs::TraceReport report = obs::capture();
+  EXPECT_EQ(report.counter(obs::Counter::kScoreMemoHits), memo.stats().hits);
+  EXPECT_EQ(report.counter(obs::Counter::kScoreMemoMisses),
+            memo.stats().misses);
+  EXPECT_EQ(report.counter(obs::Counter::kScoreMemoHits), 1);
+  EXPECT_EQ(report.counter(obs::Counter::kScoreMemoMisses), 1);
+  EXPECT_EQ(report.counter(obs::Counter::kScoreMemoEvictions), 0);
+
+  // Mirrors ScoreMemo.EvictsLeastRecentlyUsed: capacity 2, third insert
+  // evicts exactly one entry.
+  obs::reset();
+  ScoreMemo lru;
+  lru.configure(2, 1);
+  lru.insert(ScoreMemo::Key{1}, ScoreMemo::Value{1.0});
+  lru.insert(ScoreMemo::Key{2}, ScoreMemo::Value{2.0});
+  lru.insert(ScoreMemo::Key{3}, ScoreMemo::Value{3.0});
+  report = obs::capture();
+  EXPECT_EQ(report.counter(obs::Counter::kScoreMemoEvictions),
+            lru.stats().evictions);
+  EXPECT_EQ(report.counter(obs::Counter::kScoreMemoEvictions), 1);
+}
+
+TEST_F(ObsTest, PackCacheCountersMatchItsOwnStats) {
+  obs::set_trace_enabled(true);
+  const Netlist netlist = make_mcnc("apte");
+  SlicingPacker packer(netlist);
+  PolishExpression expr =
+      PolishExpression::initial(static_cast<int>(netlist.module_count()));
+  Rng rng(3);
+  (void)packer.pack_cached_ref(expr);  // cold: full rebuild
+  for (int i = 0; i < 10; ++i) {
+    expr.random_move(rng);
+    (void)packer.pack_cached_ref(expr);
+  }
+  const obs::TraceReport report = obs::capture();
+  const SlicingPacker::CacheStats& stats = packer.cache_stats();
+  EXPECT_EQ(report.counter(obs::Counter::kPackCacheFullRebuilds),
+            stats.full_rebuilds);
+  EXPECT_EQ(report.counter(obs::Counter::kPackCacheIncremental),
+            stats.incremental_packs);
+  EXPECT_EQ(report.counter(obs::Counter::kPackCacheNodesRecomputed),
+            stats.nodes_recomputed);
+  EXPECT_EQ(report.counter(obs::Counter::kPackCacheNodesTotal),
+            stats.nodes_total);
+  EXPECT_GE(stats.full_rebuilds, 1);
+}
+
+TEST_F(ObsTest, AnnealEventsAreConsistentWithCounterTotals) {
+  obs::set_trace_enabled(true);
+  const Netlist netlist = make_mcnc("apte");
+  (void)Floorplanner(netlist, small_run_options()).run();
+  const obs::TraceReport report = obs::capture();
+
+  EXPECT_EQ(report.counter(obs::Counter::kAnnealRuns), 1);
+  EXPECT_EQ(report.counter(obs::Counter::kAnnealTemperatures),
+            static_cast<long long>(report.anneal.size()));
+  long long proposed = 0;
+  long long accepted = 0;
+  for (const obs::AnnealEvent& e : report.anneal) {
+    proposed += e.proposed;
+    accepted += e.accepted;
+    long long by_kind = 0;
+    for (const long long k : e.proposed_by_kind) by_kind += k;
+    EXPECT_EQ(by_kind, e.proposed);
+    by_kind = 0;
+    for (const long long k : e.accepted_by_kind) by_kind += k;
+    EXPECT_EQ(by_kind, e.accepted);
+    EXPECT_LE(e.accepted, e.proposed);
+    EXPECT_LE(e.uphill_accepted, e.accepted);
+  }
+  EXPECT_EQ(report.counter(obs::Counter::kAnnealMovesProposed), proposed);
+  EXPECT_EQ(report.counter(obs::Counter::kAnnealMovesAccepted), accepted);
+  EXPECT_GT(proposed, 0);
+
+  // The phases the facade wraps all ran.
+  EXPECT_GT(report.phase_call_count(obs::Phase::kPack), 0);
+  EXPECT_GT(report.phase_call_count(obs::Phase::kDecompose), 0);
+  EXPECT_GT(report.phase_call_count(obs::Phase::kCongestion), 0);
+  EXPECT_GT(report.counter(obs::Counter::kIrEvaluations), 0);
+}
+
+TEST_F(ObsTest, JsonlExportRoundTripsThroughValidator) {
+  obs::set_trace_enabled(true);
+  ThreadPool::set_global_threads(2);
+  const Netlist netlist = make_mcnc("apte");
+  const FloorplanSolution sol =
+      Floorplanner(netlist, small_run_options()).run();
+  const obs::TraceReport report = obs::capture();
+
+  std::ostringstream jsonl;
+  obs::write_jsonl(jsonl, report, "obs_test");
+  obs::write_solution_jsonl(jsonl, sol.metrics.area, sol.metrics.wirelength,
+                            sol.metrics.congestion, sol.metrics.cost,
+                            sol.seconds);
+  std::istringstream in(jsonl.str());
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace(in, &error)) << error;
+
+  // The export carries records from every instrumented layer.
+  const std::string text = jsonl.str();
+  EXPECT_NE(text.find("\"type\":\"meta\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"anneal_temperature\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"cache\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"strategy\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"thread_pool\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"solution\""), std::string::npos);
+
+  // The human summary renders without throwing and mentions each table.
+  std::ostringstream summary;
+  obs::write_summary(summary, report);
+  EXPECT_NE(summary.str().find("annealer"), std::string::npos);
+  EXPECT_NE(summary.str().find("cache"), std::string::npos);
+  EXPECT_NE(summary.str().find("strategy"), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetZeroesEverything) {
+  obs::set_trace_enabled(true);
+  obs::count(obs::Counter::kIrEvaluations, 5);
+  obs::AnnealEvent event;
+  event.run = obs::next_anneal_run();
+  obs::record_anneal(event);
+  obs::reset();
+  const obs::TraceReport report = obs::capture();
+  EXPECT_EQ(report.counter(obs::Counter::kIrEvaluations), 0);
+  EXPECT_TRUE(report.anneal.empty());
+  EXPECT_EQ(obs::next_anneal_run(), 0);  // run ids restart after reset
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,134 @@
+// JSONL trace schema: the bundled JSON parser must handle the grammar the
+// writer emits (including %.17g doubles, bit-exactly), and the validator
+// must accept exactly the documented record shapes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "ficon.hpp"
+#include "obs/json.hpp"
+
+namespace ficon {
+namespace {
+
+using obs::JsonValue;
+using obs::parse_json;
+
+TEST(JsonParser, ParsesScalars) {
+  EXPECT_EQ(parse_json("null")->type, JsonValue::Type::kNull);
+  EXPECT_TRUE(parse_json("true")->boolean);
+  EXPECT_FALSE(parse_json("false")->boolean);
+  EXPECT_DOUBLE_EQ(parse_json("42")->number, 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-1.5e3")->number, -1500.0);
+  EXPECT_EQ(parse_json("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParser, ParsesEscapesAndNesting) {
+  const auto v = parse_json(R"({"a":[1,{"b":"x\n\t\"\\A"}],"c":{}})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 2u);
+  const JsonValue* b = a->array[1].find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string, "x\n\t\"\\A");
+  EXPECT_TRUE(v->find("c")->is_object());
+}
+
+TEST(JsonParser, RoundTripsSeventeenDigitDoubles) {
+  // The writer prints doubles with %.17g; parsing that text must return
+  // the original bits.
+  for (const double x : {0.1, 1.0 / 3.0, 6.02214076e23, -2.2250738585072014e-308}) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", x);
+    const auto v = parse_json(buf);
+    ASSERT_TRUE(v.has_value()) << buf;
+    EXPECT_EQ(v->number, x) << buf;
+  }
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(parse_json("[1,]", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1,}", &error).has_value());
+  EXPECT_FALSE(parse_json("\"unterminated", &error).has_value());
+  EXPECT_FALSE(parse_json("nul", &error).has_value());
+  EXPECT_FALSE(parse_json("1 2", &error).has_value());  // trailing garbage
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceSchema, AcceptsEveryDocumentedRecordType) {
+  const char* lines[] = {
+      R"({"type":"meta","version":1,"tool":"t"})",
+      R"({"type":"counter","name":"anneal_runs","value":1})",
+      R"({"type":"phase","name":"pack","calls":3,"seconds":0.5})",
+      R"({"type":"cache","name":"score_memo","hits":1,"misses":2,"evictions":0})",
+      R"({"type":"strategy","name":"theorem1","regions":9,"exact_fallbacks":1})",
+      R"({"type":"thread_pool","thread":"worker-0","tasks":4,"queue_wait_seconds":0.001})",
+      R"({"type":"anneal_summary","runs":1,"temperatures":2,"proposed":40,"accepted":12,"uphill_accepted":3,"stall_temperatures":0})",
+      R"({"type":"solution","area":1.0,"wirelength":2.0,"congestion":0.5,"cost":3.5,"seconds":0.1})",
+  };
+  for (const char* line : lines) {
+    std::string error;
+    EXPECT_TRUE(obs::validate_trace_line(line, &error)) << line << ": "
+                                                        << error;
+  }
+}
+
+TEST(TraceSchema, RejectsBadRecords) {
+  const char* lines[] = {
+      "not json at all",
+      "[1,2,3]",                                       // not an object
+      R"({"name":"x","value":1})",                     // missing type
+      R"({"type":"launch_codes"})",                    // unknown type
+      R"({"type":"counter","name":"x"})",              // missing field
+      R"({"type":"counter","name":7,"value":1})",      // wrong field kind
+      R"({"type":"phase","name":"pack","calls":"3","seconds":0.5})",
+  };
+  for (const char* line : lines) {
+    std::string error;
+    EXPECT_FALSE(obs::validate_trace_line(line, &error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+TEST(TraceSchema, StreamValidatorRequiresLeadingMeta) {
+  std::string error;
+
+  std::istringstream good(
+      "{\"type\":\"meta\",\"version\":1,\"tool\":\"t\"}\n"
+      "{\"type\":\"counter\",\"name\":\"x\",\"value\":0}\n"
+      "\n");  // blank lines are fine
+  EXPECT_TRUE(obs::validate_trace(good, &error)) << error;
+
+  std::istringstream headless(
+      "{\"type\":\"counter\",\"name\":\"x\",\"value\":0}\n");
+  EXPECT_FALSE(obs::validate_trace(headless, &error));
+
+  std::istringstream wrong_version(
+      "{\"type\":\"meta\",\"version\":999,\"tool\":\"t\"}\n");
+  EXPECT_FALSE(obs::validate_trace(wrong_version, &error));
+
+  std::istringstream bad_tail(
+      "{\"type\":\"meta\",\"version\":1,\"tool\":\"t\"}\n"
+      "{\"type\":\"counter\"}\n");
+  EXPECT_FALSE(obs::validate_trace(bad_tail, &error));
+  EXPECT_NE(error.find("line"), std::string::npos);  // position-tagged
+}
+
+TEST(TraceSchema, EmptyReportStillValidates) {
+  // Even a run with zeroed sinks produces a schema-complete document.
+  obs::reset();
+  std::ostringstream out;
+  obs::write_jsonl(out, obs::TraceReport{}, "trace_schema_test");
+  std::istringstream in(out.str());
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace(in, &error)) << error;
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,40 @@
+// trace_lint — validate a FICON JSONL trace file against the schema.
+//
+// Usage:
+//   trace_lint FILE...
+//
+// For each file: parses every line as JSON, checks the per-record schema
+// (known "type", required fields, correct field kinds) and that the first
+// record is a meta record carrying the current schema version. Exits 0
+// when every file passes, 1 otherwise — CI runs it over the traces the
+// instrumented test job produces.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ficon.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: trace_lint FILE...\n";
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      ok = false;
+      continue;
+    }
+    std::string error;
+    if (ficon::obs::validate_trace(in, &error)) {
+      std::cout << path << ": ok\n";
+    } else {
+      std::cerr << path << ": " << error << '\n';
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
