@@ -8,9 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "util/env.hpp"
-#include "route/two_pin.hpp"
-#include "util/stopwatch.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

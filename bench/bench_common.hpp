@@ -7,13 +7,7 @@
 
 #include <string>
 
-#include "circuit/mcnc.hpp"
-#include "congestion/irregular_grid.hpp"
-#include "core/floorplanner.hpp"
-#include "exp/experiment.hpp"
-#include "exp/table.hpp"
-#include "obs/report.hpp"
-#include "util/env.hpp"
+#include "ficon.hpp"
 
 namespace ficon::bench {
 

@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "util/env.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

@@ -7,13 +7,7 @@
 #include <iostream>
 #include <vector>
 
-#include "circuit/mcnc.hpp"
-#include "congestion/fixed_grid.hpp"
-#include "congestion/grid_spec.hpp"
-#include "congestion/irregular_grid.hpp"
-#include "core/floorplanner.hpp"
-#include "exp/table.hpp"
-#include "route/two_pin.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 
@@ -68,9 +62,14 @@ int main() {
            {4, 4}, {6, 6}, {12, 8}, {24, 16}}) {
     const CongestionMap map = evaluate_counts(nets, chip, nx, ny);
     const HotCell hot = hottest(map);
-    fig3.add_row({std::to_string(nx) + "x" + std::to_string(ny),
-                  "(" + fmt_fixed((hot.x + 0.5) / nx, 2) + ", " +
-                      fmt_fixed((hot.y + 0.5) / ny, 2) + ")",
+    // Built up with += (operator+ on a char* left operand trips gcc 12's
+    // -Wrestrict false positive, PR105329, once inlining gets deep).
+    std::string where = "(";
+    where += fmt_fixed((hot.x + 0.5) / nx, 2);
+    where += ", ";
+    where += fmt_fixed((hot.y + 0.5) / ny, 2);
+    where += ")";
+    fig3.add_row({std::to_string(nx) + "x" + std::to_string(ny), where,
                   fmt_fixed(hot.value, 3),
                   fmt_fixed(map.top_fraction_cost(0.10), 4)});
   }
@@ -92,8 +91,8 @@ int main() {
     const double total = static_cast<double>(map.values().size());
     fig4.add_row({std::to_string(nx) + "x" + std::to_string(ny),
                   std::to_string(map.values().size()),
-                  fmt_fixed(100.0 * low / total, 1),
-                  fmt_fixed(100.0 * zero / total, 1)});
+                  fmt_fixed(100.0 * static_cast<double>(low) / total, 1),
+                  fmt_fixed(100.0 * static_cast<double>(zero) / total, 1)});
   }
   fig4.print(std::cout);
 

@@ -11,8 +11,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "congestion/approx.hpp"
-#include "exp/table.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

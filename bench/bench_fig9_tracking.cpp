@@ -13,9 +13,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "util/env.hpp"
-#include "route/two_pin.hpp"
-#include "util/stats.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

@@ -29,10 +29,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "floorplan/slicing.hpp"
-#include "route/two_pin.hpp"
-#include "util/stopwatch.hpp"
-#include "util/thread_pool.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

@@ -5,7 +5,7 @@
 // exact cost grow linearly while the approximation stays flat.
 #include <benchmark/benchmark.h>
 
-#include "congestion/approx.hpp"
+#include "ficon.hpp"
 
 namespace {
 

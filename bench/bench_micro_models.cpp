@@ -4,11 +4,7 @@
 // model evaluates faster than fine fixed grids while judging better).
 #include <benchmark/benchmark.h>
 
-#include "circuit/mcnc.hpp"
-#include "congestion/fixed_grid.hpp"
-#include "congestion/irregular_grid.hpp"
-#include "core/floorplanner.hpp"
-#include "route/two_pin.hpp"
+#include "ficon.hpp"
 
 namespace {
 

@@ -20,10 +20,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "congestion/fixed_grid.hpp"
-#include "route/two_pin.hpp"
-#include "util/stopwatch.hpp"
-#include "util/thread_pool.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

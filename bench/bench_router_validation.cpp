@@ -12,10 +12,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "route/two_pin.hpp"
-#include "router/global_router.hpp"
-#include "util/env.hpp"
-#include "util/stats.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

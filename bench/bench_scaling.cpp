@@ -7,10 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "congestion/fixed_grid.hpp"
-#include "route/two_pin.hpp"
-#include "util/env.hpp"
-#include "util/stopwatch.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 
@@ -58,7 +55,8 @@ int main() {
 
     table.add_row({std::to_string(m), fmt_fixed(n, 0),
                    std::to_string(ir_cells), fmt_fixed(n * n, 0),
-                   fmt_fixed(100.0 * ir_cells / (n * n), 2),
+                   fmt_fixed(100.0 * static_cast<double>(ir_cells) / (n * n),
+                             2),
                    fmt_fixed(ir_ms, 2), fmt_fixed(f50_ms, 2),
                    fmt_fixed(f10_ms, 2)});
   }

@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "route/two_pin.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

@@ -5,9 +5,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "util/env.hpp"
-#include "route/two_pin.hpp"
-#include "util/stats.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

@@ -4,10 +4,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "util/env.hpp"
-#include "congestion/grid_spec.hpp"
-#include "route/two_pin.hpp"
-#include "util/stats.hpp"
+#include "ficon.hpp"
 
 using namespace ficon;
 

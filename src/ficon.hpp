@@ -30,12 +30,16 @@
 #include "router/global_router.hpp"   // IWYU pragma: export
 
 // Congestion models: shared flow-field base, the CongestionModel
-// interface + factory, and the two concrete models from the paper.
+// interface + factory, the two concrete models from the paper, and the
+// exact/approximate Formula 3 probability engines behind them.
+#include "congestion/approx.hpp"          // IWYU pragma: export
+#include "congestion/congestion_map.hpp"  // IWYU pragma: export
 #include "congestion/field.hpp"           // IWYU pragma: export
 #include "congestion/fixed_grid.hpp"      // IWYU pragma: export
 #include "congestion/grid_spec.hpp"       // IWYU pragma: export
 #include "congestion/irregular_grid.hpp"  // IWYU pragma: export
 #include "congestion/model.hpp"           // IWYU pragma: export
+#include "congestion/path_prob.hpp"       // IWYU pragma: export
 
 // Annealing engine and the Floorplanner facade.
 #include "anneal/annealer.hpp"    // IWYU pragma: export
@@ -53,5 +57,6 @@
 // Small utilities used throughout the public API.
 #include "util/env.hpp"          // IWYU pragma: export
 #include "util/rng.hpp"          // IWYU pragma: export
+#include "util/stats.hpp"        // IWYU pragma: export
 #include "util/stopwatch.hpp"    // IWYU pragma: export
 #include "util/thread_pool.hpp"  // IWYU pragma: export

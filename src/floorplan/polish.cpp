@@ -40,6 +40,11 @@ bool PolishExpression::is_valid(const std::vector<PolishToken>& tokens) {
   std::vector<bool> seen;
   for (const PolishToken& t : tokens) {
     if (t.is_operand()) {
+      // A valid expression uses each module index 0..n-1 exactly once, so
+      // any operand >= the token count is invalid. Rejecting it *before*
+      // the resize keeps hostile inputs (e.g. a fuzzer feeding INT_MAX)
+      // from requesting a gigabyte-sized scratch vector.
+      if (static_cast<std::size_t>(t.value) >= tokens.size()) return false;
       if (t.value >= static_cast<int>(seen.size())) {
         seen.resize(static_cast<std::size_t>(t.value) + 1, false);
       }

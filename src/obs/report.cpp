@@ -1,5 +1,6 @@
 #include "obs/report.hpp"
 
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <istream>
@@ -8,6 +9,7 @@
 
 #include "exp/table.hpp"
 #include "obs/json.hpp"
+#include "obs/schema.hpp"
 
 namespace ficon::obs {
 namespace {
@@ -236,29 +238,49 @@ struct Field {
   JsonValue::Type type;
 };
 
+/// Registered values for one string field (e.g. a counter's "name" must
+/// be a registered counter name). Empty = free-form.
+struct NameTable {
+  const char* field = nullptr;
+  const char* const* names = nullptr;
+  std::size_t count = 0;
+};
+
 struct RecordSchema {
   const char* type;
   std::vector<Field> fields;
+  NameTable names{};
 };
+
+template <std::size_t N>
+constexpr NameTable name_table(const char* field,
+                               const char* const (&names)[N]) {
+  return NameTable{field, names, N};
+}
 
 const std::vector<RecordSchema>& trace_schema() {
   using T = JsonValue::Type;
   static const std::vector<RecordSchema> schema = {
       {"meta", {{"version", T::kNumber}, {"tool", T::kString}}},
-      {"counter", {{"name", T::kString}, {"value", T::kNumber}}},
+      {"counter",
+       {{"name", T::kString}, {"value", T::kNumber}},
+       name_table("name", schema::kCounterNames)},
       {"phase",
        {{"name", T::kString},
         {"calls", T::kNumber},
-        {"seconds", T::kNumber}}},
+        {"seconds", T::kNumber}},
+       name_table("name", schema::kPhaseNames)},
       {"cache",
        {{"name", T::kString},
         {"hits", T::kNumber},
         {"misses", T::kNumber},
-        {"evictions", T::kNumber}}},
+        {"evictions", T::kNumber}},
+       name_table("name", schema::kCacheNames)},
       {"strategy",
        {{"name", T::kString},
         {"regions", T::kNumber},
-        {"exact_fallbacks", T::kNumber}}},
+        {"exact_fallbacks", T::kNumber}},
+       name_table("name", schema::kStrategyNames)},
       {"thread_pool",
        {{"thread", T::kString},
         {"tasks", T::kNumber},
@@ -297,44 +319,77 @@ const std::vector<RecordSchema>& trace_schema() {
   return schema;
 }
 
-bool set_error(std::string* error, const std::string& message) {
+TraceLintResult lint_error(std::string* error, const std::string& message,
+                           TraceLintResult result) {
   if (error != nullptr) *error = message;
+  return result;
+}
+
+TraceLintResult schema_error(std::string* error,
+                             const std::string& message) {
+  return lint_error(error, message, TraceLintResult::kSchemaViolation);
+}
+
+bool known_name(const NameTable& table, const std::string& name) {
+  for (std::size_t i = 0; i < table.count; ++i) {
+    if (name == table.names[i]) return true;
+  }
   return false;
 }
 
-}  // namespace
-
-bool validate_trace_line(const std::string& line, std::string* error) {
+/// One line: kIoError when the text is not JSON at all, kSchemaViolation
+/// when it parses but is not a valid schema-v1 record.
+TraceLintResult lint_trace_line(const std::string& line,
+                                std::string* error) {
   std::string parse_error;
   const std::optional<JsonValue> value = parse_json(line, &parse_error);
-  if (!value.has_value()) return set_error(error, parse_error);
+  if (!value.has_value()) {
+    return lint_error(error, parse_error, TraceLintResult::kIoError);
+  }
   if (!value->is_object()) {
-    return set_error(error, "trace record is not a JSON object");
+    return schema_error(error, "trace record is not a JSON object");
   }
   const JsonValue* type = value->find("type");
   if (type == nullptr || !type->is_string()) {
-    return set_error(error, "trace record lacks a string \"type\" field");
+    return schema_error(error, "trace record lacks a string \"type\" field");
   }
   for (const RecordSchema& record : trace_schema()) {
     if (type->string != record.type) continue;
     for (const Field& field : record.fields) {
       const JsonValue* member = value->find(field.name);
       if (member == nullptr) {
-        return set_error(error, "record \"" + type->string +
-                                    "\" lacks field \"" + field.name +
-                                    "\"");
+        return schema_error(error, "record \"" + type->string +
+                                       "\" lacks field \"" + field.name +
+                                       "\"");
       }
       if (member->type != field.type) {
-        return set_error(error, "record \"" + type->string + "\" field \"" +
-                                    field.name + "\" has the wrong type");
+        return schema_error(error, "record \"" + type->string +
+                                       "\" field \"" + field.name +
+                                       "\" has the wrong type");
       }
     }
-    return true;
+    if (record.names.field != nullptr) {
+      const JsonValue* member = value->find(record.names.field);
+      if (member != nullptr && !known_name(record.names, member->string)) {
+        return schema_error(error, "record \"" + type->string + "\" " +
+                                       record.names.field + " \"" +
+                                       member->string +
+                                       "\" is not in the schema registry");
+      }
+    }
+    return TraceLintResult::kOk;
   }
-  return set_error(error, "unknown record type \"" + type->string + "\"");
+  return schema_error(error,
+                      "unknown record type \"" + type->string + "\"");
 }
 
-bool validate_trace(std::istream& is, std::string* error) {
+}  // namespace
+
+bool validate_trace_line(const std::string& line, std::string* error) {
+  return lint_trace_line(line, error) == TraceLintResult::kOk;
+}
+
+TraceLintResult lint_trace(std::istream& is, std::string* error) {
   std::string line;
   long long line_number = 0;
   long long records = 0;
@@ -343,9 +398,12 @@ bool validate_trace(std::istream& is, std::string* error) {
     ++line_number;
     if (line.empty()) continue;
     std::string line_error;
-    if (!validate_trace_line(line, &line_error)) {
-      return set_error(error, "line " + std::to_string(line_number) + ": " +
-                                  line_error);
+    const TraceLintResult result = lint_trace_line(line, &line_error);
+    if (result != TraceLintResult::kOk) {
+      return lint_error(error,
+                        "line " + std::to_string(line_number) + ": " +
+                            line_error,
+                        result);
     }
     ++records;
     if (records == 1) {
@@ -353,18 +411,36 @@ bool validate_trace(std::istream& is, std::string* error) {
       const JsonValue* type = value.find("type");
       const JsonValue* version = value.find("version");
       if (type == nullptr || type->string != "meta") {
-        return set_error(error, "first record must be a meta line");
+        return schema_error(error, "first record must be a meta line");
       }
       if (version == nullptr ||
           version->number !=
               static_cast<double>(kTraceSchemaVersion)) {
-        return set_error(error, "unsupported trace schema version");
+        return schema_error(error, "unsupported trace schema version");
       }
       meta_seen = true;
     }
   }
-  if (!meta_seen) return set_error(error, "trace contains no records");
-  return true;
+  if (is.bad()) {
+    return lint_error(error, "read error", TraceLintResult::kIoError);
+  }
+  if (!meta_seen) {
+    return schema_error(error, "trace contains no records");
+  }
+  return TraceLintResult::kOk;
+}
+
+bool validate_trace(std::istream& is, std::string* error) {
+  return lint_trace(is, error) == TraceLintResult::kOk;
+}
+
+TraceLintResult lint_trace_file(const std::string& path,
+                                std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    return lint_error(error, "cannot open", TraceLintResult::kIoError);
+  }
+  return lint_trace(in, error);
 }
 
 void emit_env_trace(std::ostream& os, const std::string& tool) {

@@ -30,11 +30,12 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/schema.hpp"
 #include "obs/trace.hpp"
 
 namespace ficon::obs {
 
-inline constexpr int kTraceSchemaVersion = 1;
+inline constexpr int kTraceSchemaVersion = schema::kVersion;
 
 /// Write the full report as JSON Lines. `tool` goes into the meta line.
 void write_jsonl(std::ostream& os, const TraceReport& report,
@@ -56,6 +57,24 @@ bool validate_trace_line(const std::string& line, std::string* error);
 /// Validate a whole stream: every non-empty line must pass, and the
 /// first line must be a meta record with the current schema version.
 bool validate_trace(std::istream& is, std::string* error);
+
+/// Outcome of linting one trace stream or file. Values double as
+/// `tools/trace_lint` exit codes and are ordered by severity, so a run
+/// over many files reduces with max(): an unreadable file is reported
+/// even when another file merely violates the schema.
+enum class TraceLintResult : int {
+  kOk = 0,               ///< parsed and schema-clean
+  kSchemaViolation = 1,  ///< JSON parsed, but a record violates the schema
+  kIoError = 2,          ///< unreadable file, or text that is not JSON
+};
+
+/// Like `validate_trace`, but distinguishes text that fails to parse as
+/// JSON (kIoError) from well-formed JSON that violates the schema
+/// (kSchemaViolation). `error` gets a position-tagged message.
+TraceLintResult lint_trace(std::istream& is, std::string* error);
+
+/// Open and lint `path`; kIoError when the file cannot be opened/read.
+TraceLintResult lint_trace_file(const std::string& path, std::string* error);
 
 /// Print the human summary and, when `FICON_TRACE` names an output path,
 /// also write the JSONL file there. Shared by the benches and the CLI's

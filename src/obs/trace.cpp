@@ -1,28 +1,33 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <iterator>
 #include <memory>
-#include <mutex>
+
+#include "obs/schema.hpp"
+#include "util/env.hpp"
+#include "util/mutex.hpp"
 
 namespace ficon::obs {
 namespace {
 
 /// One sink per thread. Counters are relaxed atomics: they are pure
 /// statistics, never used for synchronization, and `capture()` runs at
-/// join points where the producing threads are quiescent.
+/// join points where the producing threads are quiescent. The
+/// variable-size members (events, label) are guarded by the sink's own
+/// mutex; lock order is registry.mutex before sink.mutex.
 struct ThreadSink {
   std::array<std::atomic<long long>, kCounterCount> counters{};
   std::array<std::atomic<long long>, kPhaseCount> phase_ns{};
   std::array<std::atomic<long long>, kPhaseCount> phase_calls{};
-  std::mutex events_mutex;
-  std::vector<AnnealEvent> events;
-  std::string label;  ///< Guarded by the registry mutex.
+  Mutex mutex;
+  std::vector<AnnealEvent> events FICON_GUARDED_BY(mutex);
+  std::string label FICON_GUARDED_BY(mutex);
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadSink>> sinks;
+  Mutex mutex;
+  std::vector<std::shared_ptr<ThreadSink>> sinks FICON_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -34,8 +39,11 @@ ThreadSink& local_sink() {
   thread_local std::shared_ptr<ThreadSink> sink = [] {
     auto s = std::make_shared<ThreadSink>();
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
-    s->label = "thread-" + std::to_string(r.sinks.size());
+    const MutexLock lock(r.mutex);
+    {
+      const MutexLock sink_lock(s->mutex);
+      s->label = "thread-" + std::to_string(r.sinks.size());
+    }
     r.sinks.push_back(s);
     return s;
   }();
@@ -50,13 +58,10 @@ struct TraceConfig {
 const TraceConfig& trace_config() {
   static const TraceConfig config = [] {
     TraceConfig c;
-    const char* value = std::getenv("FICON_TRACE");
-    if (value != nullptr && *value != '\0') {
-      const std::string v(value);
-      if (v != "0" && v != "false" && v != "off") {
-        c.enabled = true;
-        if (v != "1" && v != "true" && v != "on") c.path = v;
-      }
+    const std::string v = env_string("FICON_TRACE", "");
+    if (!v.empty() && v != "0" && v != "false" && v != "off") {
+      c.enabled = true;
+      if (v != "1" && v != "true" && v != "on") c.path = v;
     }
     return c;
   }();
@@ -98,57 +103,24 @@ void add_phase_slow(Phase p, long long ns) {
 
 }  // namespace detail
 
+// The schema registry is the single source of truth for export names;
+// these asserts pin the tables to the enums so a counter added without a
+// registered name (or vice versa) is a compile error.
+static_assert(std::size(schema::kCounterNames) == kCounterCount,
+              "obs/schema.hpp counter-name table out of sync with Counter");
+static_assert(std::size(schema::kPhaseNames) == kPhaseCount,
+              "obs/schema.hpp phase-name table out of sync with Phase");
+
 const char* counter_name(Counter c) {
-  switch (c) {
-    case Counter::kAnnealRuns: return "anneal_runs";
-    case Counter::kAnnealTemperatures: return "anneal_temperatures";
-    case Counter::kAnnealMovesProposed: return "anneal_moves_proposed";
-    case Counter::kAnnealMovesAccepted: return "anneal_moves_accepted";
-    case Counter::kAnnealUphillAccepted: return "anneal_uphill_accepted";
-    case Counter::kAnnealStallTemperatures:
-      return "anneal_stall_temperatures";
-    case Counter::kScoreMemoHits: return "score_memo_hits";
-    case Counter::kScoreMemoMisses: return "score_memo_misses";
-    case Counter::kScoreMemoEvictions: return "score_memo_evictions";
-    case Counter::kPackCacheIncremental: return "pack_cache_incremental";
-    case Counter::kPackCacheFullRebuilds:
-      return "pack_cache_full_rebuilds";
-    case Counter::kPackCacheNodesRecomputed:
-      return "pack_cache_nodes_recomputed";
-    case Counter::kPackCacheNodesTotal: return "pack_cache_nodes_total";
-    case Counter::kDecomposeCalls: return "decompose_calls";
-    case Counter::kDecomposeNetsReused: return "decompose_nets_reused";
-    case Counter::kDecomposeNetsRecomputed:
-      return "decompose_nets_recomputed";
-    case Counter::kIrEvaluations: return "ir_evaluations";
-    case Counter::kIrNetsScored: return "ir_nets_scored";
-    case Counter::kIrNetsDegenerate: return "ir_nets_degenerate";
-    case Counter::kIrRegionsTheorem1: return "ir_regions_theorem1";
-    case Counter::kIrRegionsExact: return "ir_regions_exact";
-    case Counter::kIrRegionsBanded: return "ir_regions_banded";
-    case Counter::kIrRegionsCertain: return "ir_regions_certain";
-    case Counter::kIrTheorem1ExactFallbacks:
-      return "ir_theorem1_exact_fallbacks";
-    case Counter::kFixedEvaluations: return "fixed_evaluations";
-    case Counter::kFixedNetsScored: return "fixed_nets_scored";
-    case Counter::kPoolJobs: return "pool_jobs";
-    case Counter::kPoolBlocks: return "pool_blocks";
-    case Counter::kPoolInlineBlocks: return "pool_inline_blocks";
-    case Counter::kPoolTasks: return "pool_tasks";
-    case Counter::kPoolQueueWaitNs: return "pool_queue_wait_ns";
-    case Counter::kCount: break;
-  }
-  return "unknown";
+  const int i = static_cast<int>(c);
+  if (i < 0 || i >= kCounterCount) return "unknown";
+  return schema::kCounterNames[i];
 }
 
 const char* phase_name(Phase p) {
-  switch (p) {
-    case Phase::kPack: return "pack";
-    case Phase::kDecompose: return "decompose";
-    case Phase::kCongestion: return "congestion";
-    case Phase::kCount: break;
-  }
-  return "unknown";
+  const int i = static_cast<int>(p);
+  if (i < 0 || i >= kPhaseCount) return "unknown";
+  return schema::kPhaseNames[i];
 }
 
 void set_trace_enabled(bool enabled) {
@@ -171,20 +143,20 @@ int next_anneal_run() {
 
 void record_anneal(const AnnealEvent& event) {
   ThreadSink& sink = local_sink();
-  const std::lock_guard<std::mutex> lock(sink.events_mutex);
+  const MutexLock lock(sink.mutex);
   sink.events.push_back(event);
 }
 
 void set_thread_label(const std::string& label) {
-  ThreadSink& sink = local_sink();  // Register before taking the lock.
-  const std::lock_guard<std::mutex> lock(registry().mutex);
+  ThreadSink& sink = local_sink();
+  const MutexLock lock(sink.mutex);
   sink.label = label;
 }
 
 TraceReport capture() {
   TraceReport report;
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   for (const std::shared_ptr<ThreadSink>& sink : r.sinks) {
     for (int i = 0; i < kCounterCount; ++i) {
       report.counters[i] +=
@@ -202,11 +174,11 @@ TraceReport capture() {
     const long long wait_ns =
         sink->counters[static_cast<int>(Counter::kPoolQueueWaitNs)].load(
             std::memory_order_relaxed);
-    if (tasks > 0 || wait_ns > 0) {
-      report.pool_threads.push_back({sink->label, tasks, wait_ns});
-    }
     {
-      const std::lock_guard<std::mutex> events_lock(sink->events_mutex);
+      const MutexLock sink_lock(sink->mutex);
+      if (tasks > 0 || wait_ns > 0) {
+        report.pool_threads.push_back({sink->label, tasks, wait_ns});
+      }
       report.anneal.insert(report.anneal.end(), sink->events.begin(),
                            sink->events.end());
     }
@@ -225,14 +197,14 @@ TraceReport capture() {
 
 void reset() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   for (const std::shared_ptr<ThreadSink>& sink : r.sinks) {
     for (auto& c : sink->counters) c.store(0, std::memory_order_relaxed);
     for (auto& p : sink->phase_ns) p.store(0, std::memory_order_relaxed);
     for (auto& p : sink->phase_calls) {
       p.store(0, std::memory_order_relaxed);
     }
-    const std::lock_guard<std::mutex> events_lock(sink->events_mutex);
+    const MutexLock sink_lock(sink->mutex);
     sink->events.clear();
   }
   g_next_run.store(0, std::memory_order_relaxed);

@@ -1,0 +1,75 @@
+// Portable Clang thread-safety annotation macros.
+//
+// Clang's `-Wthread-safety` analysis is a compile-time race detector: it
+// checks, per function, that every access to a `FICON_GUARDED_BY(mu)`
+// member happens while `mu` is held, and that functions declared
+// `FICON_REQUIRES(mu)` are only called with `mu` held. The attributes are
+// advisory on every other compiler — each macro expands to nothing unless
+// the compiler understands `__attribute__((capability))` — so annotated
+// code builds identically under gcc; only the clang `analysis` CI job
+// enforces them (with `-Wthread-safety -Werror`).
+//
+// The macro set mirrors the LLVM documentation's canonical spelling
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed to
+// stay out of other libraries' namespaces. Annotate with the FICON_*
+// forms only; never use the raw attributes directly, so a compiler bump
+// needs exactly one file to change.
+//
+// The analysis only tracks capability-annotated types: `std::mutex` is
+// opaque to it. Use `ficon::Mutex` / `ficon::MutexLock`
+// (`util/mutex.hpp`) for any lock that guards annotated state.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FICON_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FICON_THREAD_ANNOTATION
+#define FICON_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define FICON_CAPABILITY(x) FICON_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define FICON_SCOPED_CAPABILITY FICON_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define FICON_GUARDED_BY(x) FICON_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define FICON_PT_GUARDED_BY(x) FICON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define FICON_ACQUIRE(...) \
+  FICON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define FICON_RELEASE(...) \
+  FICON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define FICON_TRY_ACQUIRE(result, ...) \
+  FICON_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must hold the capability across the call.
+#define FICON_REQUIRES(...) \
+  FICON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard).
+#define FICON_EXCLUDES(...) FICON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held; teaches the analysis
+/// that it is from this point on (used under `std::unique_lock`, whose
+/// acquire/release live in system headers the analysis does not see).
+#define FICON_ASSERT_CAPABILITY(x) \
+  FICON_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define FICON_RETURN_CAPABILITY(x) FICON_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a comment explaining why the analysis cannot see the invariant.
+#define FICON_NO_THREAD_SAFETY_ANALYSIS \
+  FICON_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -37,8 +37,10 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "util/annotations.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
+#include "util/mutex.hpp"
 
 namespace ficon {
 
@@ -96,7 +98,7 @@ class ThreadPool {
     job.blocks = blocks;
     if (obs::trace_enabled()) job.dispatch_ns = steady_now_ns();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       job_ = &job;
       ++epoch_;
     }
@@ -110,19 +112,23 @@ class ThreadPool {
       // Wait until every block finished AND every worker that picked this
       // job up has left drain() — only then is the stack-allocated Job
       // safe to destroy.
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<Mutex> lock(mu_);
       done_cv_.wait(lock, [&] {
         return job.done.load() == blocks && job.active.load() == 0;
       });
+      mu_.AssertHeld();  // unique_lock acquisitions are invisible to -Wthread-safety
       job_ = nullptr;
     }
-    if (job.error) std::rethrow_exception(job.error);
+    {
+      const MutexLock lock(job.error_mu);
+      if (job.error) std::rethrow_exception(job.error);
+    }
   }
 
   /// @brief Process-wide pool, lazily sized from `FICON_THREADS` (default:
   /// hardware_concurrency) on first use.
   static ThreadPool& global() {
-    std::lock_guard<std::mutex> lock(global_mu());
+    const MutexLock lock(global_mu());
     std::unique_ptr<ThreadPool>& pool = global_slot();
     if (!pool) pool = std::make_unique<ThreadPool>(env_threads());
     return *pool;
@@ -132,7 +138,7 @@ class ThreadPool {
   /// determinism tests sweep 1/2/4/8). Must not race with a concurrent
   /// global() run; call it from the main thread between evaluations.
   static void set_global_threads(int threads) {
-    std::lock_guard<std::mutex> lock(global_mu());
+    const MutexLock lock(global_mu());
     global_slot() = std::make_unique<ThreadPool>(threads);
   }
 
@@ -152,8 +158,8 @@ class ThreadPool {
     std::atomic<int> next{0};    ///< next block to claim
     std::atomic<int> done{0};    ///< blocks finished
     std::atomic<int> active{0};  ///< workers currently inside drain()
-    std::mutex error_mu;
-    std::exception_ptr error;
+    Mutex error_mu;
+    std::exception_ptr error FICON_GUARDED_BY(error_mu);
   };
 
   static long long steady_now_ns() {
@@ -182,12 +188,12 @@ class ThreadPool {
       try {
         (*job.fn)(b);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(job.error_mu);
+        const MutexLock lock(job.error_mu);
         if (!job.error) job.error = std::current_exception();
       }
       if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           job.blocks) {
-        std::lock_guard<std::mutex> lock(mu_);
+        const MutexLock lock(mu_);
         done_cv_.notify_all();
       }
     }
@@ -199,9 +205,13 @@ class ThreadPool {
     while (true) {
       Job* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, stop, [&] { return epoch_ != seen; });
+        std::unique_lock<Mutex> lock(mu_);
+        cv_.wait(lock, stop, [&] {
+          mu_.AssertHeld();  // wait predicates run with the lock held
+          return epoch_ != seen;
+        });
         if (stop.stop_requested()) return;
+        mu_.AssertHeld();  // unique_lock is invisible to -Wthread-safety
         seen = epoch_;
         job = job_;
         // Register while holding mu_, i.e. while job_ is provably alive:
@@ -218,15 +228,15 @@ class ThreadPool {
                      wait > 0 ? wait : 0);
         }
         drain(*job);
-        std::lock_guard<std::mutex> lock(mu_);
+        const MutexLock lock(mu_);
         job->active.fetch_sub(1, std::memory_order_relaxed);
         done_cv_.notify_all();
       }
     }
   }
 
-  static std::mutex& global_mu() {
-    static std::mutex mu;
+  static Mutex& global_mu() {
+    static Mutex mu;
     return mu;
   }
   static std::unique_ptr<ThreadPool>& global_slot() {
@@ -235,11 +245,11 @@ class ThreadPool {
   }
 
   const int thread_count_;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable_any cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t epoch_ = 0;
-  Job* job_ = nullptr;
+  std::condition_variable_any done_cv_;
+  std::uint64_t epoch_ FICON_GUARDED_BY(mu_) = 0;
+  Job* job_ FICON_GUARDED_BY(mu_) = nullptr;
   std::vector<std::jthread> workers_;
 };
 

@@ -129,7 +129,9 @@ TEST_F(ApproxFixture, RightTermMirrorsTopTermOnSquareRanges) {
       const auto top = approx_.top_exit_term_approx(g, g, v, c);
       const auto right = approx_.right_exit_term_approx(g, g, c, v);
       ASSERT_EQ(top.has_value(), right.has_value());
-      if (top) EXPECT_NEAR(*top, *right, 1e-12);
+      if (top) {
+        EXPECT_NEAR(*top, *right, 1e-12);
+      }
       EXPECT_NEAR(approx_.top_exit_term_exact(g, g, v, c),
                   approx_.right_exit_term_exact(g, g, c, v), 1e-12);
     }

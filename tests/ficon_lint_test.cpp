@@ -1,0 +1,234 @@
+// ficon_lint end-to-end: the real tree must lint clean against the
+// committed baseline, and a seeded violation of each rule F001–F006 must
+// be caught in a synthetic repo. Runs the binary as a subprocess — these
+// are contract tests on the CLI (output + exit codes), not unit tests of
+// the scanner internals.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd = std::string(FICON_LINT_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  LintRun run;
+  char buf[4096];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) run.output += buf;
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+/// Synthetic repo under TempDir with the scaffolding every tree needs
+/// (README + schema registry), torn down on destruction.
+class SeededRepo {
+ public:
+  explicit SeededRepo(const std::string& name)
+      : root_(fs::path(::testing::TempDir()) / ("ficon_lint_" + name)) {
+    fs::remove_all(root_);
+    write("README.md", "# seeded tree\nKnobs: FICON_DOCUMENTED\n");
+    write("src/obs/schema.hpp",
+          "inline constexpr const char* kRecordTypes[] = {\"meta\"};\n"
+          "inline constexpr const char* kCounterNames[] = {\"good_counter\"};\n"
+          "inline constexpr const char* kPhaseNames[] = {\"pack\"};\n"
+          "inline constexpr const char* kCacheNames[] = {\"score_memo\"};\n"
+          "inline constexpr const char* kStrategyNames[] = {\"theorem1\"};\n");
+  }
+  ~SeededRepo() { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream(path) << content;
+  }
+
+  LintRun lint() const { return run_lint("--repo " + root_.string()); }
+  LintRun lint(const std::string& extra) const {
+    return run_lint("--repo " + root_.string() + " " + extra);
+  }
+  const fs::path& root() const { return root_; }
+
+ private:
+  fs::path root_;
+};
+
+TEST(FiconLint, RealTreeIsCleanAgainstCommittedBaseline) {
+  const LintRun run = run_lint("--repo " FICON_REPO_DIR);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("clean"), std::string::npos) << run.output;
+  // The committed baseline must not have rotted: no stale entries.
+  EXPECT_EQ(run.output.find("stale baseline entry"), std::string::npos)
+      << run.output;
+}
+
+TEST(FiconLint, ListRulesAndUsage) {
+  const LintRun rules = run_lint("--list-rules");
+  EXPECT_EQ(rules.exit_code, 0);
+  for (const char* id : {"F001", "F002", "F003", "F004", "F005", "F006"}) {
+    EXPECT_NE(rules.output.find(id), std::string::npos) << id;
+  }
+  EXPECT_EQ(run_lint("--bogus-flag").exit_code, 2);
+  EXPECT_EQ(run_lint("--repo /nonexistent/ficon").exit_code, 2);
+}
+
+TEST(FiconLint, F001CatchesRawGetenvAndUndocumentedKnob) {
+  SeededRepo repo("f001");
+  repo.write("src/a.cpp",
+             "#include <cstdlib>\n"
+             "const char* v = std::getenv(\"FICON_RAW\");\n");
+  repo.write("src/b.cpp",
+             "int n = env_int(\"FICON_UNDOCUMENTED\", 1);\n"
+             "int m = env_int(\"FICON_DOCUMENTED\", 1);\n");
+  const LintRun run = repo.lint();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("F001"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("raw getenv"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("FICON_UNDOCUMENTED"), std::string::npos)
+      << run.output;
+  // The documented knob must NOT be flagged.
+  EXPECT_EQ(run.output.find("FICON_DOCUMENTED"), std::string::npos)
+      << run.output;
+}
+
+TEST(FiconLint, F002CatchesUnregisteredTraceNames) {
+  SeededRepo repo("f002");
+  repo.write("src/obs/writer.cpp",
+             "void emit(std::ostream& os) {\n"
+             "  os << \"{\\\"type\\\":\\\"bogus_record\\\",\\\"v\\\":1}\";\n"
+             "  os << \"{\\\"type\\\":\\\"meta\\\",\\\"version\\\":1}\";\n"
+             "}\n");
+  const LintRun run = repo.lint();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("F002"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("bogus_record"), std::string::npos) << run.output;
+  // The registered type must pass.
+  EXPECT_EQ(run.output.find("\"meta\""), std::string::npos) << run.output;
+}
+
+TEST(FiconLint, F003CatchesDeepIncludesFromExamplesAndBench) {
+  SeededRepo repo("f003");
+  repo.write("examples/demo.cpp",
+             "#include \"ficon.hpp\"\n"
+             "#include \"util/env.hpp\"\n");
+  repo.write("bench/bench_x.cpp", "#include \"congestion/field.hpp\"\n");
+  // Deep includes inside src/ are fine.
+  repo.write("src/core/a.cpp", "#include \"util/env.hpp\"\n");
+  const LintRun run = repo.lint();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("examples/demo.cpp:2: F003"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("bench/bench_x.cpp:1: F003"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("src/core/a.cpp"), std::string::npos)
+      << run.output;
+}
+
+TEST(FiconLint, F004CatchesFloatEqualityButSkipsAssertionsAndComments) {
+  SeededRepo repo("f004");
+  repo.write("src/x.cpp",
+             "bool f(double a) { return a == 1.0; }\n"
+             "// a == 1.0 in a comment is fine\n"
+             "void g() { EXPECT_EQ(h(), 2.5); }\n"
+             "bool k(double a) { return 0.5 != a; }\n");
+  const LintRun run = repo.lint();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/x.cpp:1: F004"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/x.cpp:4: F004"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find(":2: F004"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find(":3: F004"), std::string::npos) << run.output;
+}
+
+TEST(FiconLint, F005CatchesRawRngPrimitives) {
+  SeededRepo repo("f005");
+  repo.write("src/y.cpp",
+             "#include <random>\n"
+             "int roll() { std::mt19937 gen(7); return (int)gen(); }\n");
+  repo.write("src/util/rng.hpp",
+             "#include <random>\n"
+             "struct Rng { std::mt19937_64 engine; };\n");  // allowlisted
+  const LintRun run = repo.lint();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/y.cpp:2: F005"), std::string::npos)
+      << run.output;
+  // The message text mentions rng.hpp; assert no *finding* points there.
+  EXPECT_EQ(run.output.find("rng.hpp:"), std::string::npos) << run.output;
+}
+
+TEST(FiconLint, F006CatchesMissingAndRedundantOverride) {
+  SeededRepo repo("f006");
+  repo.write("src/z.hpp",
+             "struct Base {\n"
+             "  virtual ~Base() = default;\n"  // no base list: not flagged
+             "  virtual int f() const = 0;\n"
+             "};\n"
+             "struct Derived : public Base {\n"
+             "  virtual int f() const;\n"        // missing override
+             "  virtual int g() const override;\n"  // redundant virtual
+             "  int h() const override;\n"       // correct: not flagged
+             "};\n");
+  const LintRun run = repo.lint();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/z.hpp:6: F006"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/z.hpp:7: F006"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("redundant"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("z.hpp:2:"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("z.hpp:3:"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("z.hpp:8:"), std::string::npos) << run.output;
+}
+
+TEST(FiconLint, BaselineSuppressesOnlyJustifiedEntries) {
+  SeededRepo repo("baseline");
+  repo.write("src/x.cpp", "bool f(double a) { return a == 1.0; }\n");
+
+  // --update-baseline captures the finding but marks it UNREVIEWED...
+  const LintRun update = repo.lint("--update-baseline");
+  EXPECT_EQ(update.exit_code, 0) << update.output;
+  EXPECT_NE(update.output.find("1 suppression"), std::string::npos)
+      << update.output;
+
+  // ...and an UNREVIEWED entry does NOT silence the finding.
+  const LintRun unreviewed = repo.lint();
+  EXPECT_EQ(unreviewed.exit_code, 1) << unreviewed.output;
+  EXPECT_NE(unreviewed.output.find("baselined without justification"),
+            std::string::npos)
+      << unreviewed.output;
+
+  // A human-supplied reason does.
+  repo.write(".ficon-lint-baseline.json",
+             "{\"suppressions\": [{\"rule\": \"F004\", \"file\": "
+             "\"src/x.cpp\", \"token\": "
+             "\"bool f(double a) { return a == 1.0; }\", "
+             "\"reason\": \"exact sentinel compare\"}]}\n");
+  const LintRun justified = repo.lint();
+  EXPECT_EQ(justified.exit_code, 0) << justified.output;
+
+  // Fixing the code turns the entry stale — reported, but still exit 0.
+  repo.write("src/x.cpp", "bool f(double a) { return a > 1.0; }\n");
+  const LintRun stale = repo.lint();
+  EXPECT_EQ(stale.exit_code, 0) << stale.output;
+  EXPECT_NE(stale.output.find("stale baseline entry"), std::string::npos)
+      << stale.output;
+
+  // A corrupt baseline is an I/O error, not a silent pass.
+  repo.write(".ficon-lint-baseline.json", "{nope");
+  EXPECT_EQ(repo.lint().exit_code, 2);
+}
+
+}  // namespace

@@ -139,6 +139,39 @@ TEST(Polish, SingleModuleHasNoMoves) {
   EXPECT_EQ(e.to_string(), "0");
 }
 
+TEST(Polish, IsValidRejectsHostileOperandValuesCheaply) {
+  // Regression (found by fuzz/polish_fuzz): an operand value near INT_MAX
+  // used to drive seen.resize(value+1) — a multi-hundred-MB allocation —
+  // before the expression was rejected. Any operand >= the token count
+  // must be rejected up front.
+  using Tok = PolishToken;
+  EXPECT_FALSE(PolishExpression::is_valid(
+      {Tok{0}, Tok{0x7fffff42}, Tok{Tok::kV}}));
+  EXPECT_FALSE(PolishExpression::is_valid(
+      {Tok{2147483647}, Tok{1}, Tok{Tok::kH}}));
+  // Operand == token count is just as invalid (indices are 0..n-1).
+  EXPECT_FALSE(
+      PolishExpression::is_valid({Tok{0}, Tok{3}, Tok{Tok::kV}}));
+  // And the boundary that IS legal still passes: indices {0,1}, 3 tokens.
+  EXPECT_TRUE(
+      PolishExpression::is_valid({Tok{0}, Tok{1}, Tok{Tok::kV}}));
+}
+
+TEST(Polish, ValidatorsHandleFuzzedTokenSoup) {
+  // Byte-soup shapes the fuzzer exercises: all operators, duplicate
+  // operands, junk negatives. None may crash; all must be invalid.
+  using Tok = PolishToken;
+  EXPECT_FALSE(PolishExpression::is_valid({Tok{Tok::kH}, Tok{Tok::kV}}));
+  EXPECT_FALSE(
+      PolishExpression::is_valid({Tok{0}, Tok{0}, Tok{Tok::kV}}));
+  EXPECT_FALSE(PolishExpression::is_valid({Tok{0}, Tok{1}, Tok{-17}}));
+  EXPECT_FALSE(PolishExpression::is_valid({}));
+  // is_normalized is independent of validity and must tolerate the same.
+  EXPECT_TRUE(PolishExpression::is_normalized({Tok{Tok::kH}, Tok{Tok::kV}}));
+  EXPECT_FALSE(
+      PolishExpression::is_normalized({Tok{Tok::kH}, Tok{Tok::kH}}));
+}
+
 TEST(Polish, MovesReachManyDistinctStructures) {
   // The move set should explore the solution space, not cycle among a few
   // states: 500 moves on 8 modules must visit >100 distinct expressions.

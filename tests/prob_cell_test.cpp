@@ -88,10 +88,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2, 3, 5, 8, 13),
                        ::testing::Values(2, 4, 7, 11),
                        ::testing::Bool()),
-    [](const ::testing::TestParamInfo<std::tuple<int, int, bool>>& info) {
-      return "g1_" + std::to_string(std::get<0>(info.param)) + "_g2_" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_type2" : "_type1");
+    [](const ::testing::TestParamInfo<std::tuple<int, int, bool>>& sweep) {
+      return "g1_" + std::to_string(std::get<0>(sweep.param)) + "_g2_" +
+             std::to_string(std::get<1>(sweep.param)) +
+             (std::get<2>(sweep.param) ? "_type2" : "_type1");
     });
 
 TEST(CellProb, PinCellsAlwaysProbabilityOne) {

@@ -110,6 +110,67 @@ TEST_F(ProbProperties, CellProbabilitiesBoundRegionProbability) {
   }
 }
 
+TEST_F(ProbProperties, RegionProbabilityStaysInUnitInterval) {
+  // P is a probability: [0,1] for every shape/region draw, including the
+  // degenerate single-row/column shapes where every path is forced.
+  for (int trial = 0; trial < 400; ++trial) {
+    // 1-in-5 draws force a degenerate shape (g1 == 1 or g2 == 1).
+    NetGridShape s = random_shape();
+    if (trial % 5 == 0) {
+      (rng_.chance(0.5) ? s.g1 : s.g2) = 1;
+    }
+    const GridRect r = random_region(s.g1, s.g2);
+    const double p = prob_.region_probability_exact(s, r);
+    EXPECT_GE(p, 0.0) << "g=(" << s.g1 << ',' << s.g2 << ") region " << r;
+    EXPECT_LE(p, 1.0) << "g=(" << s.g1 << ',' << s.g2 << ") region " << r;
+    // Cell probabilities obey the same bounds (sampled corner).
+    const double pc = prob_.cell_probability(s, r.xlo, r.ylo);
+    EXPECT_GE(pc, 0.0);
+    EXPECT_LE(pc, 1.0);
+    // A degenerate shape has exactly one path: every cell on it is
+    // crossed with certainty.
+    if (s.degenerate()) {
+      EXPECT_NEAR(p, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST_F(ProbProperties, TransposeSymmetry) {
+  // Swapping the x and y axes is a bijection on monotone lattice paths
+  // (for both net types), so P over (g1,g2) at region r equals P over
+  // (g2,g1) at the transposed region.
+  for (int trial = 0; trial < 300; ++trial) {
+    const NetGridShape s = random_shape();
+    const GridRect r = random_region(s.g1, s.g2);
+    const NetGridShape t{s.g2, s.g1, s.type2};
+    const GridRect transposed{r.ylo, r.xlo, r.yhi, r.xhi};
+    EXPECT_NEAR(prob_.region_probability_exact(s, r),
+                prob_.region_probability_exact(t, transposed), 1e-10)
+        << "g=(" << s.g1 << ',' << s.g2 << ") t2=" << s.type2 << " region "
+        << r;
+  }
+}
+
+TEST_F(ProbProperties, MonotoneOverRandomNestedRegions) {
+  // Containment monotonicity for ARBITRARY nesting (the RegionGrowth test
+  // above only grows by one ring): inner ⊆ outer implies P(inner) <=
+  // P(outer), because every path crossing the inner region crosses the
+  // outer one.
+  for (int trial = 0; trial < 300; ++trial) {
+    const NetGridShape s = random_shape();
+    const GridRect outer = random_region(s.g1, s.g2);
+    const int xlo = rng_.uniform_int(outer.xlo, outer.xhi);
+    const int xhi = rng_.uniform_int(xlo, outer.xhi);
+    const int ylo = rng_.uniform_int(outer.ylo, outer.yhi);
+    const int yhi = rng_.uniform_int(ylo, outer.yhi);
+    const GridRect inner{xlo, ylo, xhi, yhi};
+    EXPECT_LE(prob_.region_probability_exact(s, inner),
+              prob_.region_probability_exact(s, outer) + 1e-12)
+        << "g=(" << s.g1 << ',' << s.g2 << ") inner " << inner << " outer "
+        << outer;
+  }
+}
+
 TEST_F(ProbProperties, OracleAgreesEverywhereRandomized) {
   for (int trial = 0; trial < 150; ++trial) {
     const NetGridShape s = random_shape();

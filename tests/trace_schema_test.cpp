@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -85,7 +86,7 @@ TEST(TraceSchema, RejectsBadRecords) {
       "[1,2,3]",                                       // not an object
       R"({"name":"x","value":1})",                     // missing type
       R"({"type":"launch_codes"})",                    // unknown type
-      R"({"type":"counter","name":"x"})",              // missing field
+      R"({"type":"counter","name":"anneal_runs"})",    // missing field
       R"({"type":"counter","name":7,"value":1})",      // wrong field kind
       R"({"type":"phase","name":"pack","calls":"3","seconds":0.5})",
   };
@@ -96,17 +97,54 @@ TEST(TraceSchema, RejectsBadRecords) {
   }
 }
 
+TEST(TraceSchema, RejectsNamesMissingFromRegistry) {
+  // Free-form names defeat the point of a schema: every counter, phase,
+  // cache, and strategy name must come from obs/schema.hpp.
+  const char* lines[] = {
+      R"({"type":"counter","name":"made_up_counter","value":1})",
+      R"({"type":"phase","name":"warp","calls":3,"seconds":0.5})",
+      R"({"type":"cache","name":"l5","hits":1,"misses":2,"evictions":0})",
+      R"({"type":"strategy","name":"vibes","regions":9,"exact_fallbacks":0})",
+  };
+  for (const char* line : lines) {
+    std::string error;
+    EXPECT_FALSE(obs::validate_trace_line(line, &error)) << line;
+    EXPECT_NE(error.find("schema registry"), std::string::npos) << error;
+  }
+}
+
+TEST(TraceSchema, EveryCounterAndPhaseNameIsRegistered) {
+  // counter_name/phase_name draw from the registry tables; the validator
+  // must accept everything the writer can emit.
+  for (int i = 0; i < obs::kCounterCount; ++i) {
+    const std::string line =
+        std::string(R"({"type":"counter","name":")") +
+        obs::counter_name(static_cast<obs::Counter>(i)) +
+        R"(","value":0})";
+    std::string error;
+    EXPECT_TRUE(obs::validate_trace_line(line, &error)) << error;
+  }
+  for (int i = 0; i < obs::kPhaseCount; ++i) {
+    const std::string line =
+        std::string(R"({"type":"phase","name":")") +
+        obs::phase_name(static_cast<obs::Phase>(i)) +
+        R"(","calls":0,"seconds":0.0})";
+    std::string error;
+    EXPECT_TRUE(obs::validate_trace_line(line, &error)) << error;
+  }
+}
+
 TEST(TraceSchema, StreamValidatorRequiresLeadingMeta) {
   std::string error;
 
   std::istringstream good(
       "{\"type\":\"meta\",\"version\":1,\"tool\":\"t\"}\n"
-      "{\"type\":\"counter\",\"name\":\"x\",\"value\":0}\n"
+      "{\"type\":\"counter\",\"name\":\"anneal_runs\",\"value\":0}\n"
       "\n");  // blank lines are fine
   EXPECT_TRUE(obs::validate_trace(good, &error)) << error;
 
   std::istringstream headless(
-      "{\"type\":\"counter\",\"name\":\"x\",\"value\":0}\n");
+      "{\"type\":\"counter\",\"name\":\"anneal_runs\",\"value\":0}\n");
   EXPECT_FALSE(obs::validate_trace(headless, &error));
 
   std::istringstream wrong_version(
@@ -118,6 +156,56 @@ TEST(TraceSchema, StreamValidatorRequiresLeadingMeta) {
       "{\"type\":\"counter\"}\n");
   EXPECT_FALSE(obs::validate_trace(bad_tail, &error));
   EXPECT_NE(error.find("line"), std::string::npos);  // position-tagged
+}
+
+TEST(TraceLint, DistinguishesSchemaViolationFromParseError) {
+  // trace_lint's exit codes come straight from TraceLintResult: CI must
+  // be able to tell a malformed trace (1) from an unreadable file (2).
+  static_assert(static_cast<int>(obs::TraceLintResult::kOk) == 0);
+  static_assert(
+      static_cast<int>(obs::TraceLintResult::kSchemaViolation) == 1);
+  static_assert(static_cast<int>(obs::TraceLintResult::kIoError) == 2);
+
+  std::string error;
+  std::istringstream ok(
+      "{\"type\":\"meta\",\"version\":1,\"tool\":\"t\"}\n");
+  EXPECT_EQ(obs::lint_trace(ok, &error), obs::TraceLintResult::kOk);
+
+  // Well-formed JSON, but the record violates the schema -> 1.
+  std::istringstream bad_record(
+      "{\"type\":\"meta\",\"version\":1,\"tool\":\"t\"}\n"
+      "{\"type\":\"counter\",\"name\":\"anneal_runs\"}\n");
+  EXPECT_EQ(obs::lint_trace(bad_record, &error),
+            obs::TraceLintResult::kSchemaViolation);
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  // Headless / wrong version are schema problems, not I/O problems.
+  std::istringstream headless(
+      "{\"type\":\"counter\",\"name\":\"anneal_runs\",\"value\":0}\n");
+  EXPECT_EQ(obs::lint_trace(headless, &error),
+            obs::TraceLintResult::kSchemaViolation);
+
+  // Not JSON at all -> 2.
+  std::istringstream garbage("$$ not a trace $$\n");
+  EXPECT_EQ(obs::lint_trace(garbage, &error),
+            obs::TraceLintResult::kIoError);
+}
+
+TEST(TraceLint, FileEntryPointsReportIoErrors) {
+  std::string error;
+  EXPECT_EQ(obs::lint_trace_file("/nonexistent/ficon-trace.jsonl", &error),
+            obs::TraceLintResult::kIoError);
+  EXPECT_EQ(error, "cannot open");
+
+  // Round-trip through an actual file: written traces lint clean.
+  const std::string path = ::testing::TempDir() + "trace_lint_test.jsonl";
+  {
+    std::ofstream out(path);
+    obs::write_jsonl(out, obs::TraceReport{}, "trace_schema_test");
+  }
+  EXPECT_EQ(obs::lint_trace_file(path, &error), obs::TraceLintResult::kOk)
+      << error;
+  std::remove(path.c_str());
 }
 
 TEST(TraceSchema, EmptyReportStillValidates) {

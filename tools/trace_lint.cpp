@@ -4,11 +4,17 @@
 //   trace_lint FILE...
 //
 // For each file: parses every line as JSON, checks the per-record schema
-// (known "type", required fields, correct field kinds) and that the first
-// record is a meta record carrying the current schema version. Exits 0
-// when every file passes, 1 otherwise — CI runs it over the traces the
-// instrumented test job produces.
-#include <fstream>
+// (known "type", required fields, correct field kinds, registered
+// counter/phase/cache/strategy names) and that the first record is a
+// meta record carrying the current schema version.
+//
+// Exit codes (see obs::TraceLintResult) let CI tell a malformed trace
+// from an unreadable one:
+//   0 — every file parsed and passed the schema
+//   1 — at least one schema violation (well-formed JSON, bad record)
+//   2 — at least one I/O or JSON parse error (unreadable file, not
+//       JSON), or a usage error; takes precedence over 1
+#include <algorithm>
 #include <iostream>
 #include <string>
 
@@ -17,24 +23,20 @@
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: trace_lint FILE...\n";
-    return 2;
+    return static_cast<int>(ficon::obs::TraceLintResult::kIoError);
   }
-  bool ok = true;
+  ficon::obs::TraceLintResult worst = ficon::obs::TraceLintResult::kOk;
   for (int i = 1; i < argc; ++i) {
     const std::string path = argv[i];
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << path << ": cannot open\n";
-      ok = false;
-      continue;
-    }
     std::string error;
-    if (ficon::obs::validate_trace(in, &error)) {
+    const ficon::obs::TraceLintResult result =
+        ficon::obs::lint_trace_file(path, &error);
+    if (result == ficon::obs::TraceLintResult::kOk) {
       std::cout << path << ": ok\n";
     } else {
       std::cerr << path << ": " << error << '\n';
-      ok = false;
+      worst = std::max(worst, result);
     }
   }
-  return ok ? 0 : 1;
+  return static_cast<int>(worst);
 }
