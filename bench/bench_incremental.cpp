@@ -154,6 +154,12 @@ int main() {
   double reference_cost = 0.0;
   std::string reference_repr;
 
+  bench::BenchReport report("incremental");
+  report.meta("circuit", circuit);
+  report.meta("scale", config.scale);
+  report.meta("repack_speedup", repack.speedup());
+  report.meta("decompose_speedup", decomp.speedup());
+
   for (const int threads : thread_counts) {
     ThreadPool::set_global_threads(threads);
 
@@ -192,6 +198,12 @@ int main() {
                    fmt_fixed(fast_mps, 1),
                    fmt_fixed(fast_mps / slow_mps, 2),
                    fmt_general(fast.metrics.cost, 12)});
+
+    report.begin_row();
+    report.value("threads", static_cast<long long>(threads));
+    report.value("baseline_moves_per_s", slow_mps);
+    report.value("incremental_moves_per_s", fast_mps);
+    report.value("final_cost", fast.metrics.cost);
   }
   ThreadPool::set_global_threads(ThreadPool::env_threads());
 
@@ -206,6 +218,8 @@ int main() {
     std::cout << "# RE-PACK SPEEDUP BELOW GATE ("
               << fmt_fixed(repack.speedup(), 2) << "x < 2x)\n";
   }
+  report.meta("bit_identical", static_cast<long long>(identical ? 1 : 0));
+  std::cout << "# wrote " << report.write_file() << "\n";
   obs::emit_env_trace(std::cout, "bench_incremental");
   return pass ? 0 : 1;
 }

@@ -26,11 +26,9 @@ using namespace ficon;
 
 namespace {
 
+// Warmed-up variant: page in partial grids, fill log-factorial caches.
 double timed_ms(const std::function<void()>& fn, int repeats) {
-  fn();  // warm-up: page in partial grids, fill log-factorial caches
-  Stopwatch sw;
-  for (int i = 0; i < repeats; ++i) fn();
-  return sw.milliseconds() / repeats;
+  return bench::timed_ms(fn, repeats, /*warmup=*/true);
 }
 
 }  // namespace

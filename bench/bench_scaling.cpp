@@ -10,16 +10,7 @@
 #include "ficon.hpp"
 
 using namespace ficon;
-
-namespace {
-
-double timed_ms(const std::function<void()>& fn, int repeats) {
-  Stopwatch sw;
-  for (int i = 0; i < repeats; ++i) fn();
-  return sw.milliseconds() / repeats;
-}
-
-}  // namespace
+using bench::timed_ms;
 
 int main() {
   const int max_modules = env_int("FICON_SCALING_MAX", 200);

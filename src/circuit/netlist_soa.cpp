@@ -1,0 +1,96 @@
+#include "circuit/netlist_soa.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ficon {
+
+NetlistSoA::NetlistSoA(const Netlist& netlist) {
+  const std::size_t modules = netlist.module_count();
+  const std::size_t nets = netlist.net_count();
+  const std::size_t pins = netlist.pin_count();
+  FICON_REQUIRE(pins <= std::numeric_limits<std::uint32_t>::max() &&
+                    nets < std::numeric_limits<std::uint32_t>::max(),
+                "netlist exceeds 32-bit flat indexing");
+
+  module_width_.reserve(modules);
+  module_height_.reserve(modules);
+  for (const Module& m : netlist.modules()) {
+    module_width_.push_back(m.width);
+    module_height_.push_back(m.height);
+  }
+
+  pin_offset_.reserve(nets + 1);
+  pin_offset_.push_back(0);
+  pin_module_.reserve(pins);
+  pin_terminal_.reserve(pins);
+  pin_fx_.reserve(pins);
+  pin_fy_.reserve(pins);
+  net_has_terminal_.reserve(nets);
+  // First occurrence-counting pass shares the net flattening loop: count
+  // each (module, net) incidence once so the CSR can be sized exactly.
+  std::vector<std::uint32_t> occ_count(modules + 1, 0);
+  for (std::size_t n = 0; n < nets; ++n) {
+    const Net& net = netlist.nets()[n];
+    std::uint8_t has_terminal = 0;
+    const std::size_t first = pin_module_.size();
+    for (const Pin& pin : net.pins) {
+      pin_module_.push_back(pin.module);
+      pin_terminal_.push_back(pin.terminal);
+      pin_fx_.push_back(pin.fx);
+      pin_fy_.push_back(pin.fy);
+      if (pin.is_terminal()) {
+        has_terminal = 1;
+      } else {
+        // Count this (module, net) pair unless an earlier pin of the same
+        // net already referenced the module (net degrees are small, so the
+        // backward scan is cheap and allocation-free).
+        bool seen = false;
+        for (std::size_t q = first; q + 1 < pin_module_.size(); ++q) {
+          if (pin_module_[q] == pin.module) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          ++occ_count[static_cast<std::size_t>(pin.module) + 1];
+        }
+      }
+    }
+    pin_offset_.push_back(static_cast<std::uint32_t>(pin_module_.size()));
+    net_has_terminal_.push_back(has_terminal);
+  }
+
+  // Prefix-sum the counts into offsets, then scatter net indices. Nets are
+  // visited in ascending order, so each module's slice comes out sorted.
+  occ_offset_.assign(modules + 1, 0);
+  for (std::size_t m = 0; m < modules; ++m) {
+    occ_offset_[m + 1] = occ_offset_[m] + occ_count[m + 1];
+  }
+  occ_net_.resize(occ_offset_[modules]);
+  std::vector<std::uint32_t> cursor(occ_offset_.begin(),
+                                    occ_offset_.end() - 1);
+  for (std::size_t n = 0; n < nets; ++n) {
+    const std::size_t begin = pin_offset_[n];
+    const std::size_t end = pin_offset_[n + 1];
+    for (std::size_t p = begin; p < end; ++p) {
+      const std::int32_t m = pin_module_[p];
+      if (m < 0) continue;
+      bool seen = false;
+      for (std::size_t q = begin; q < p; ++q) {
+        if (pin_module_[q] == m) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        occ_net_[cursor[static_cast<std::size_t>(m)]++] =
+            static_cast<std::uint32_t>(n);
+      }
+    }
+  }
+}
+
+}  // namespace ficon

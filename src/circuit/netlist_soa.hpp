@@ -1,0 +1,106 @@
+// Struct-of-arrays netlist view: the flat, index-based companion of
+// Netlist for hot loops.
+//
+// Netlist is an array-of-structs (each Net owns a name and a pin vector) —
+// convenient to build and validate, but walking it in the annealing inner
+// loop chases one heap pointer per net and drags pin names/strings through
+// the cache. NetlistSoA flattens the connectivity once per netlist into
+// contiguous arrays addressed by CSR offsets, in the style of compact
+// SAT-solver occurrence lists: nets index into one flat pin array, and an
+// inverted module→net occurrence list lets a caller touch exactly the nets
+// incident to a changed module instead of scanning every pin. The view is
+// immutable after construction and safe to share across threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "geom/point.hpp"
+
+namespace ficon {
+
+/// @brief Flat, immutable connectivity view of one Netlist.
+///
+/// Indexing mirrors the source netlist exactly: module m, terminal t and
+/// net n mean the same thing in both representations, and net n's pins
+/// appear in the flat arrays in their original order, at
+/// [pin_begin(n), pin_end(n)).
+class NetlistSoA {
+ public:
+  explicit NetlistSoA(const Netlist& netlist);
+
+  std::size_t module_count() const { return module_width_.size(); }
+  std::size_t net_count() const { return pin_offset_.size() - 1; }
+  std::size_t pin_count() const { return pin_module_.size(); }
+
+  /// Canonical (unrotated) module dimensions, um.
+  std::span<const double> module_widths() const { return module_width_; }
+  std::span<const double> module_heights() const { return module_height_; }
+
+  // --- CSR: net -> pins. ---
+  std::size_t pin_begin(std::size_t net) const { return pin_offset_[net]; }
+  std::size_t pin_end(std::size_t net) const { return pin_offset_[net + 1]; }
+  std::size_t degree(std::size_t net) const {
+    return pin_end(net) - pin_begin(net);
+  }
+
+  /// Module index of flat pin p, or -1 for a terminal pin.
+  std::int32_t pin_module(std::size_t p) const { return pin_module_[p]; }
+  /// Terminal index of flat pin p, or -1 for a module pin.
+  std::int32_t pin_terminal(std::size_t p) const { return pin_terminal_[p]; }
+  /// Fractional offsets — within the module outline for module pins,
+  /// within the chip rectangle for terminal pins (same convention as Pin).
+  double pin_fx(std::size_t p) const { return pin_fx_[p]; }
+  double pin_fy(std::size_t p) const { return pin_fy_[p]; }
+
+  /// True iff net n has at least one terminal pin (its pin positions then
+  /// depend on the chip rectangle, not only on module geometry).
+  bool net_has_terminal(std::size_t net) const {
+    return net_has_terminal_[net] != 0;
+  }
+
+  // --- Occurrence lists: module -> nets (each net listed once). ---
+  /// Distinct nets incident to `module`, ascending.
+  std::span<const std::uint32_t> nets_of_module(std::size_t module) const {
+    return std::span<const std::uint32_t>(occ_net_)
+        .subspan(occ_offset_[module],
+                 occ_offset_[module + 1] - occ_offset_[module]);
+  }
+
+  /// @brief Absolute position of flat pin p under `placement` —
+  /// bit-identical to Placement::pin_position() on the corresponding Pin
+  /// (same expressions over the same doubles).
+  Point pin_position(std::size_t p, const Placement& placement) const {
+    const std::int32_t m = pin_module_[p];
+    const double fx = pin_fx_[p];
+    const double fy = pin_fy_[p];
+    if (m < 0) {
+      const Rect& chip = placement.chip;
+      return {chip.xlo + fx * chip.width(), chip.ylo + fy * chip.height()};
+    }
+    const Rect& r = placement.module_rects[static_cast<std::size_t>(m)];
+    const bool rot = placement.rotated[static_cast<std::size_t>(m)];
+    const double ex = rot ? fy : fx;
+    const double ey = rot ? fx : fy;
+    return {r.xlo + ex * r.width(), r.ylo + ey * r.height()};
+  }
+
+ private:
+  std::vector<double> module_width_;
+  std::vector<double> module_height_;
+  // Net -> pin CSR (pin_offset_ has net_count()+1 entries).
+  std::vector<std::uint32_t> pin_offset_;
+  std::vector<std::int32_t> pin_module_;
+  std::vector<std::int32_t> pin_terminal_;
+  std::vector<double> pin_fx_;
+  std::vector<double> pin_fy_;
+  std::vector<std::uint8_t> net_has_terminal_;
+  // Module -> net occurrence CSR (occ_offset_ has module_count()+1
+  // entries; nets deduplicated and ascending within each module's slice).
+  std::vector<std::uint32_t> occ_offset_;
+  std::vector<std::uint32_t> occ_net_;
+};
+
+}  // namespace ficon

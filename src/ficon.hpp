@@ -14,10 +14,13 @@
 #include "geom/point.hpp"      // IWYU pragma: export
 #include "geom/rect.hpp"       // IWYU pragma: export
 
-// Circuits: netlist model, YAL parser, MCNC benchmark loader.
-#include "circuit/mcnc.hpp"    // IWYU pragma: export
-#include "circuit/netlist.hpp" // IWYU pragma: export
-#include "circuit/parser.hpp"  // IWYU pragma: export
+// Circuits: netlist model, flat SoA view, YAL parser, MCNC benchmark
+// loader, and the scalable synthetic benchmark generator.
+#include "circuit/mcnc.hpp"        // IWYU pragma: export
+#include "circuit/netlist.hpp"     // IWYU pragma: export
+#include "circuit/netlist_soa.hpp" // IWYU pragma: export
+#include "circuit/parser.hpp"      // IWYU pragma: export
+#include "gen/scale.hpp"           // IWYU pragma: export
 
 // Floorplan representations and packing.
 #include "floorplan/polish.hpp"         // IWYU pragma: export
@@ -55,6 +58,7 @@
 #include "obs/trace.hpp"   // IWYU pragma: export
 
 // Small utilities used throughout the public API.
+#include "util/arena.hpp"        // IWYU pragma: export
 #include "util/env.hpp"          // IWYU pragma: export
 #include "util/rng.hpp"          // IWYU pragma: export
 #include "util/stats.hpp"        // IWYU pragma: export

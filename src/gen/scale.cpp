@@ -1,0 +1,304 @@
+#include "gen/scale.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <random>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ficon {
+namespace {
+
+/// Published aggregate statistics of the GSRC soft-block suite used as
+/// anchors; sizes between/beyond anchors scale the nearest anchor's
+/// per-module ratios. (The real n100/n200/n300 numbers; the generated
+/// circuits match these aggregates, not the actual block lists.)
+struct GsrcAnchor {
+  int modules;
+  int nets;
+  int pins;
+  int terminals;
+};
+constexpr GsrcAnchor kGsrcAnchors[] = {
+    {100, 885, 1873, 334},
+    {200, 1585, 3599, 564},
+    {300, 1893, 4358, 569},
+};
+
+/// Fractional chip-outline position of pad t of T, walking the perimeter
+/// counter-clockwise from the lower-left corner (same convention as the
+/// MCNC substrate).
+Terminal perimeter_terminal(const std::string& name, int t, int total) {
+  const double u = (t + 0.5) / total;
+  double fx = 0.0, fy = 0.0;
+  if (u < 0.25) {
+    fx = 4.0 * u;
+  } else if (u < 0.5) {
+    fx = 1.0;
+    fy = 4.0 * (u - 0.25);
+  } else if (u < 0.75) {
+    fx = 1.0 - 4.0 * (u - 0.5);
+    fy = 1.0;
+  } else {
+    fy = 1.0 - 4.0 * (u - 0.75);
+  }
+  return Terminal{name, fx, fy};
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix_string(std::uint64_t h, const std::string& s) {
+  const std::uint64_t len = s.size();
+  h = fnv1a(h, &len, sizeof(len));
+  return fnv1a(h, s.data(), s.size());
+}
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  return fnv1a(h, &bits, sizeof(bits));
+}
+
+std::uint64_t mix_int(std::uint64_t h, std::int64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+ScaleTierSpec gsrc_style_spec(int modules) {
+  FICON_REQUIRE(modules >= 10, "GSRC-style tier needs at least 10 modules");
+  // Nearest anchor by module count; ratios scale linearly from it.
+  const GsrcAnchor* anchor = &kGsrcAnchors[0];
+  for (const GsrcAnchor& a : kGsrcAnchors) {
+    if (std::abs(a.modules - modules) <
+        std::abs(anchor->modules - modules)) {
+      anchor = &a;
+    }
+  }
+  const double f = static_cast<double>(modules) / anchor->modules;
+  ScaleTierSpec spec;
+  spec.name = "n" + std::to_string(modules);
+  spec.modules = modules;
+  spec.nets = std::max(2, static_cast<int>(std::lround(anchor->nets * f)));
+  spec.terminals =
+      std::max(4, static_cast<int>(std::lround(anchor->terminals * f)));
+  // Pad nets use one module pin, plain nets two: pins >= 2*nets suffices.
+  spec.pins = std::max(static_cast<int>(std::lround(anchor->pins * f)),
+                       2 * spec.nets);
+  spec.terminals = std::min(spec.terminals, spec.nets);
+  // GSRC blocks average ~1.8e3 um^2.
+  spec.total_area_um2 = 1800.0 * modules;
+  spec.tile_modules = std::min(50, modules);
+  spec.soft = true;
+  return spec;
+}
+
+ScaleTierSpec ami49x_spec(int copies) {
+  FICON_REQUIRE(copies >= 1, "ami49x tier needs at least one copy");
+  ScaleTierSpec spec;
+  spec.name = "ami49x" + std::to_string(copies);
+  spec.modules = 49 * copies;
+  spec.nets = 408 * copies;
+  spec.pins = 953 * copies;
+  // Pads sit on the chip outline, so their count grows with the perimeter
+  // (~sqrt of the area), not with the module count.
+  spec.terminals = 22 * static_cast<int>(
+                            std::ceil(std::sqrt(static_cast<double>(copies))));
+  spec.terminals = std::min(spec.terminals, spec.nets);
+  spec.pins += spec.terminals - 22;  // keep the published per-tile module pins
+  spec.total_area_um2 = 35445424.0 * copies;
+  spec.tile_modules = 49;
+  spec.soft = false;
+  return spec;
+}
+
+ScaleTierSpec parse_scale_tier(const std::string& token) {
+  const auto parse_int = [&](const std::string& digits) {
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument("bad scale tier token '" + token + "'");
+    }
+    const long v = std::strtol(digits.c_str(), nullptr, 10);
+    FICON_REQUIRE(v > 0 && v <= 10'000'000, "scale tier out of range");
+    return static_cast<int>(v);
+  };
+  if (token.rfind("ami49x", 0) == 0) {
+    return ami49x_spec(parse_int(token.substr(6)));
+  }
+  if (!token.empty() && token[0] == 'n') {
+    return gsrc_style_spec(parse_int(token.substr(1)));
+  }
+  // A bare module count maps to the smallest ami49x ladder rung covering it.
+  const int modules = parse_int(token);
+  return ami49x_spec(std::max(1, (modules + 48) / 49));
+}
+
+Netlist make_scale_netlist(const ScaleTierSpec& spec, std::uint64_t seed) {
+  FICON_REQUIRE(spec.modules >= 2, "need at least two modules");
+  FICON_REQUIRE(spec.nets >= 1, "need at least one net");
+  FICON_REQUIRE(spec.terminals >= 0 && spec.terminals <= spec.nets,
+                "terminal count must be in [0, nets]");
+  FICON_REQUIRE(spec.tile_modules >= 1, "tile size must be positive");
+  FICON_REQUIRE(spec.total_area_um2 > 0.0, "non-positive total area");
+  // Pad nets use 1 module pin, all others at least 2.
+  const int module_pin_budget = spec.pins - spec.terminals;
+  FICON_REQUIRE(module_pin_budget >= 2 * spec.nets - spec.terminals,
+                "module-pin budget below the per-net minimum");
+  constexpr int kMaxDegree = 8;
+  const int plain_nets = spec.nets - spec.terminals;
+  FICON_REQUIRE(module_pin_budget <=
+                    kMaxDegree * plain_nets + spec.terminals,
+                "module-pin budget exceeds the degree cap");
+
+  Rng rng(SplitMix64(seed).next());
+
+  // --- Modules: lognormal areas renormalized to the target total, aspect
+  // in [1/3, 3], whole-um dimensions (the MCNC substrate's idiom).
+  std::vector<Module> modules;
+  modules.reserve(static_cast<std::size_t>(spec.modules));
+  {
+    std::lognormal_distribution<double> dist(0.0, 0.8);
+    std::vector<double> areas(static_cast<std::size_t>(spec.modules));
+    double sum = 0.0;
+    for (double& a : areas) {
+      a = dist(rng.engine());
+      sum += a;
+    }
+    for (double& a : areas) a *= spec.total_area_um2 / sum;
+    for (int i = 0; i < spec.modules; ++i) {
+      const std::string name = spec.name + "_m" + std::to_string(i);
+      const double area = areas[static_cast<std::size_t>(i)];
+      if (spec.soft) {
+        modules.push_back(Module::make_soft(name, area, 1.0 / 3.0, 3.0));
+      } else {
+        const double aspect =
+            std::exp(rng.uniform(-std::log(3.0), std::log(3.0)));
+        const double w = std::max(1.0, std::round(std::sqrt(area * aspect)));
+        const double h = std::max(1.0, std::round(area / w));
+        modules.push_back(Module{name, w, h});
+      }
+    }
+  }
+
+  // --- Tiling: module i lives in tile i / tile_modules; net n's home tile
+  // follows proportionally, so locality survives any circuit size.
+  const int tiles = (spec.modules + spec.tile_modules - 1) / spec.tile_modules;
+  const auto tile_range = [&](int tile) {
+    const int lo = tile * spec.tile_modules;
+    const int hi = std::min(spec.modules, lo + spec.tile_modules);
+    return std::pair<int, int>(lo, hi);
+  };
+
+  // --- Net degrees (module pins only): pad nets get 1, plain nets start
+  // at 2, and the remaining budget is sprinkled one pin at a time capped
+  // at kMaxDegree. Pad nets are the last spec.terminals nets.
+  std::vector<int> degree(static_cast<std::size_t>(spec.nets), 2);
+  for (int n = plain_nets; n < spec.nets; ++n) {
+    degree[static_cast<std::size_t>(n)] = 1;
+  }
+  int remaining = module_pin_budget - (2 * plain_nets + spec.terminals);
+  while (remaining > 0) {
+    const std::size_t n = rng.index(static_cast<std::size_t>(spec.nets));
+    const bool pad = static_cast<int>(n) >= plain_nets;
+    if (!pad && degree[n] < kMaxDegree) {
+      ++degree[n];
+      --remaining;
+    }
+  }
+
+  // --- Nets: draw pins mostly from the home tile, sometimes the next
+  // tile over, occasionally anywhere — hierarchical locality.
+  constexpr double kHomeAffinity = 0.75;
+  constexpr double kNeighborAffinity = 0.15;  // cumulative 0.90
+  std::vector<Net> nets;
+  nets.reserve(static_cast<std::size_t>(spec.nets));
+  std::vector<int> used;
+  for (int n = 0; n < spec.nets; ++n) {
+    Net net;
+    net.name = spec.name + "_e" + std::to_string(n);
+    const int home =
+        static_cast<int>(static_cast<long long>(n) * tiles / spec.nets);
+    const int neighbor = home + 1 < tiles ? home + 1 : 0;
+    used.clear();
+    for (int p = 0; p < degree[static_cast<std::size_t>(n)]; ++p) {
+      int module = -1;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const double u = rng.uniform();
+        int tile = home;
+        if (u >= kHomeAffinity + kNeighborAffinity) {
+          tile = rng.uniform_int(0, tiles - 1);
+        } else if (u >= kHomeAffinity) {
+          tile = neighbor;
+        }
+        const auto [lo, hi] = tile_range(tile);
+        module = rng.uniform_int(lo, hi - 1);
+        if (std::find(used.begin(), used.end(), module) == used.end()) break;
+      }
+      // A repeated pin after 8 attempts is harmless: it collapses to a
+      // zero-length edge in the MST decomposition (the MCNC substrate
+      // accepts the same degenerate case).
+      used.push_back(module);
+      net.pins.push_back(Pin::on_module(module, rng.uniform(0.1, 0.9),
+                                        rng.uniform(0.1, 0.9)));
+    }
+    nets.push_back(std::move(net));
+  }
+
+  // --- Terminals: pads ring the outline; pad t completes the degree-1
+  // net plain_nets + t to a (module pin, pad) pair.
+  std::vector<Terminal> terminals;
+  terminals.reserve(static_cast<std::size_t>(spec.terminals));
+  for (int t = 0; t < spec.terminals; ++t) {
+    terminals.push_back(perimeter_terminal(
+        spec.name + "_p" + std::to_string(t), t, spec.terminals));
+    nets[static_cast<std::size_t>(plain_nets + t)].pins.push_back(
+        Pin::on_terminal(t, terminals.back()));
+  }
+
+  return Netlist(spec.name, std::move(modules), std::move(terminals),
+                 std::move(nets));
+}
+
+std::uint64_t netlist_fingerprint(const Netlist& netlist) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = mix_string(h, netlist.name());
+  h = mix_int(h, static_cast<std::int64_t>(netlist.module_count()));
+  h = mix_int(h, static_cast<std::int64_t>(netlist.terminal_count()));
+  h = mix_int(h, static_cast<std::int64_t>(netlist.net_count()));
+  for (const Module& m : netlist.modules()) {
+    h = mix_string(h, m.name);
+    h = mix_double(h, m.width);
+    h = mix_double(h, m.height);
+    h = mix_int(h, m.soft ? 1 : 0);
+    h = mix_double(h, m.min_aspect);
+    h = mix_double(h, m.max_aspect);
+  }
+  for (const Terminal& t : netlist.terminals()) {
+    h = mix_string(h, t.name);
+    h = mix_double(h, t.fx);
+    h = mix_double(h, t.fy);
+  }
+  for (const Net& net : netlist.nets()) {
+    h = mix_string(h, net.name);
+    h = mix_int(h, static_cast<std::int64_t>(net.pins.size()));
+    for (const Pin& pin : net.pins) {
+      h = mix_int(h, pin.module);
+      h = mix_int(h, pin.terminal);
+      h = mix_double(h, pin.fx);
+      h = mix_double(h, pin.fy);
+    }
+  }
+  return h;
+}
+
+}  // namespace ficon

@@ -116,59 +116,52 @@ std::span<const TwoPinNet> TwoPinDecomposer::decompose(
   FICON_REQUIRE(placement.module_rects.size() == netlist.module_count(),
                 "placement does not match netlist");
   if (cached_netlist_ != &netlist || cached_method_ != method) {
-    // (Re)build the fixed layout: per-net pin and edge offsets. Both
-    // depend only on net degrees, so they — and therefore each net's
-    // slice of nets_ — are stable for the lifetime of the binding.
-    pin_offset_.assign(1, 0);
+    // (Re)bind: flatten the netlist into the SoA view (pin CSR plus
+    // module->net occurrence lists) and lay out per-net edge slices. Edge
+    // counts depend only on net degrees, so each net's slice of nets_ is
+    // stable for the lifetime of the binding.
+    soa_ = std::make_unique<NetlistSoA>(netlist);
     edge_offset_.assign(1, 0);
-    pin_offset_.reserve(netlist.net_count() + 1);
-    edge_offset_.reserve(netlist.net_count() + 1);
-    net_modules_.clear();
-    net_module_offset_.assign(1, 0);
-    net_has_terminal_.clear();
-    for (const Net& net : netlist.nets()) {
-      const std::size_t k = net.pins.size();
+    edge_offset_.reserve(soa_->net_count() + 1);
+    for (std::size_t n = 0; n < soa_->net_count(); ++n) {
+      const std::size_t k = soa_->degree(n);
       FICON_REQUIRE(k >= 2, "decomposition needs at least two pins per net");
-      pin_offset_.push_back(pin_offset_.back() + k);
       edge_offset_.push_back(edge_offset_.back() +
                              (method == Decomposition::kMst ? k - 1 : k));
-      char has_terminal = 0;
-      for (const Pin& pin : net.pins) {
-        if (pin.is_terminal()) {
-          has_terminal = 1;
-        } else {
-          net_modules_.push_back(pin.module);
-        }
-      }
-      net_module_offset_.push_back(net_modules_.size());
-      net_has_terminal_.push_back(has_terminal);
     }
-    cached_pins_.resize(pin_offset_.back());
+    cached_pins_.resize(soa_->pin_count());
     nets_.resize(edge_offset_.back());
     cached_netlist_ = &netlist;
     cached_method_ = method;
     pins_valid_ = false;
   }
+  const NetlistSoA& soa = *soa_;
 
   // Module diff: a pin position is a pure function of its module's rect
-  // and rotation (terminal pins: of the chip rect), so comparing the
-  // module count's worth of geometry up front tells us which nets can be
-  // skipped without touching their pins at all.
-  const std::size_t modules = netlist.module_count();
+  // and rotation (terminal pins: of the chip rect). Diff the module
+  // count's worth of geometry up front and push dirt through the
+  // occurrence lists onto exactly the incident nets — proportional to the
+  // changed modules' fanout, not to the pin count.
+  const std::size_t modules = soa.module_count();
+  const std::size_t net_count = soa.net_count();
   const bool chip_same =
       pins_valid_ && placement.chip.xlo == cached_chip_.xlo &&
       placement.chip.ylo == cached_chip_.ylo &&
       placement.chip.xhi == cached_chip_.xhi &&
       placement.chip.yhi == cached_chip_.yhi;
-  module_dirty_.assign(modules, 1);
-  if (pins_valid_ && cached_rects_.size() == modules) {
+  const bool diffable = pins_valid_ && cached_rects_.size() == modules;
+  net_dirty_.assign(net_count, diffable ? 0 : 1);
+  if (diffable) {
     for (std::size_t m = 0; m < modules; ++m) {
       const Rect& a = placement.module_rects[m];
       const Rect& b = cached_rects_[m];
       const char rot = placement.rotated[m] ? 1 : 0;
-      module_dirty_[m] = !(a.xlo == b.xlo && a.ylo == b.ylo &&
-                           a.xhi == b.xhi && a.yhi == b.yhi &&
-                           rot == cached_rotated_[m]);
+      if (!(a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi &&
+            a.yhi == b.yhi && rot == cached_rotated_[m])) {
+        for (const std::uint32_t incident : soa.nets_of_module(m)) {
+          net_dirty_[incident] = 1;
+        }
+      }
     }
   }
   cached_chip_ = placement.chip;
@@ -180,31 +173,23 @@ std::span<const TwoPinNet> TwoPinDecomposer::decompose(
 
   long long reused = 0;
   long long recomputed = 0;
-  for (std::size_t n = 0; n < netlist.net_count(); ++n) {
-    const Net& net = netlist.nets()[n];
-    // Fast path: every pin's module is clean (and the chip is unchanged
-    // if the net has terminal pins) — cached pins and edges still hold.
-    bool clean = pins_valid_ && (chip_same || !net_has_terminal_[n]);
-    if (clean) {
-      for (std::size_t i = net_module_offset_[n];
-           i < net_module_offset_[n + 1]; ++i) {
-        if (module_dirty_[static_cast<std::size_t>(net_modules_[i])]) {
-          clean = false;
-          break;
-        }
-      }
-    }
-    if (clean) {
+  for (std::size_t n = 0; n < net_count; ++n) {
+    // Fast path: no incident module moved (and the chip is unchanged if
+    // the net has terminal pins) — cached pins and edges still hold.
+    if (pins_valid_ && !net_dirty_[n] &&
+        (chip_same || !soa.net_has_terminal(n))) {
       ++reused;
       continue;
     }
-    Point* cached = cached_pins_.data() + pin_offset_[n];
+    const std::size_t begin = soa.pin_begin(n);
+    const std::size_t k = soa.degree(n);
+    Point* cached = cached_pins_.data() + begin;
     // Gather this net's pin positions, diffing against the previous call
     // in the same pass (write-through): a dirty module can still leave a
     // net's pins in place (e.g. an unrelated chip resize).
     bool same = pins_valid_;
-    for (std::size_t i = 0; i < net.pins.size(); ++i) {
-      const Point p = placement.pin_position(net.pins[i]);
+    for (std::size_t i = 0; i < k; ++i) {
+      const Point p = soa.pin_position(begin + i, placement);
       if (same && (p.x != cached[i].x || p.y != cached[i].y)) same = false;
       cached[i] = p;
     }
@@ -213,7 +198,7 @@ std::span<const TwoPinNet> TwoPinDecomposer::decompose(
       continue;
     }
     ++recomputed;
-    const std::span<const Point> pins(cached, net.pins.size());
+    const std::span<const Point> pins(cached, k);
     TwoPinNet* out = nets_.data() + edge_offset_[n];
     if (method == Decomposition::kMst) {
       mst_edges_into(pins, static_cast<int>(n), out);

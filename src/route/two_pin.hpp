@@ -6,10 +6,12 @@
 // distance between pin positions under a concrete placement.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "circuit/netlist_soa.hpp"
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
 
@@ -92,6 +94,10 @@ class TwoPinDecomposer {
       const Netlist& netlist, const Placement& placement,
       Decomposition method = Decomposition::kMst);
 
+  /// Flat connectivity view of the currently bound netlist, or nullptr
+  /// before the first decompose() call. Exposed for tests and diagnostics.
+  const NetlistSoA* bound_soa() const { return soa_.get(); }
+
  private:
   std::vector<TwoPinNet> nets_;  ///< net n owns [edge_offset_[n], edge_offset_[n+1])
   // Prim scratch, sized to the largest net degree seen so far.
@@ -100,25 +106,26 @@ class TwoPinDecomposer {
   std::vector<std::size_t> best_parent_;
   // Star hub scratch.
   std::vector<double> xs_, ys_;
-  // Pin cache: previous pin positions, flat, net n at pin_offset_[n].
+  // Binding: the flat connectivity view (pin CSR + module->net occurrence
+  // lists) rebuilt whenever the netlist or method changes. The pin cache
+  // shares the SoA's flat pin indexing: net n's previous pin positions
+  // live at cached_pins_[soa_->pin_begin(n) .. soa_->pin_end(n)).
   const Netlist* cached_netlist_ = nullptr;
   Decomposition cached_method_ = Decomposition::kMst;
   bool pins_valid_ = false;
+  std::unique_ptr<NetlistSoA> soa_;
   std::vector<Point> cached_pins_;
-  std::vector<std::size_t> pin_offset_;
   std::vector<std::size_t> edge_offset_;
   // Module-diff fast path: the previous placement's module geometry. A
-  // net whose pin modules all kept their rect/rotation (and whose terminal
-  // pins, if any, kept the chip outline) cannot have moved pins, so its
-  // gather/compare pass is skipped wholesale. Net n's pin modules live at
-  // net_modules_[net_module_offset_[n] .. net_module_offset_[n+1]).
+  // module whose rect/rotation changed pushes dirt through the occurrence
+  // list onto exactly the nets it touches — O(dirty modules x fanout)
+  // instead of a per-net scan over every pin — and a net with no dirty
+  // bit (plus an unchanged chip if it has terminal pins) keeps its cached
+  // pins and edges wholesale.
   Rect cached_chip_;
   std::vector<Rect> cached_rects_;
   std::vector<char> cached_rotated_;
-  std::vector<char> module_dirty_;
-  std::vector<int> net_modules_;
-  std::vector<std::size_t> net_module_offset_;
-  std::vector<char> net_has_terminal_;
+  std::vector<char> net_dirty_;
 
   friend std::vector<TwoPinNet> mst_edges(const std::vector<Point>&, int);
   void append_mst_edges(const std::vector<Point>& pins, int source_net,

@@ -1,0 +1,113 @@
+// Tests for the scalable synthetic benchmark generator (src/gen/scale.hpp):
+// tier spec arithmetic, structural invariants of the generated netlists,
+// and the determinism contract — same (spec, seed) means byte-identical
+// netlists regardless of the thread-pool configuration.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mcnc.hpp"
+#include "gen/scale.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ficon {
+namespace {
+
+TEST(ScaleTierSpec, Ami49TierMatchesPublishedStatsPerTile) {
+  const ScaleTierSpec one = ami49x_spec(1);
+  EXPECT_EQ(one.name, "ami49x1");
+  EXPECT_EQ(one.modules, 49);
+  EXPECT_EQ(one.nets, 408);
+  EXPECT_EQ(one.pins, 953);
+  EXPECT_EQ(one.terminals, 22);
+  EXPECT_DOUBLE_EQ(one.total_area_um2, 35445424.0);
+  EXPECT_FALSE(one.soft);
+
+  const ScaleTierSpec four = ami49x_spec(4);
+  EXPECT_EQ(four.modules, 4 * 49);
+  EXPECT_EQ(four.nets, 4 * 408);
+  EXPECT_DOUBLE_EQ(four.total_area_um2, 4 * 35445424.0);
+  // Pads ring the outline: count grows ~sqrt(copies), not linearly.
+  EXPECT_EQ(four.terminals, 44);
+}
+
+TEST(ScaleTierSpec, GsrcStyleHitsTheN100Anchor) {
+  const ScaleTierSpec spec = gsrc_style_spec(100);
+  EXPECT_EQ(spec.name, "n100");
+  EXPECT_EQ(spec.modules, 100);
+  EXPECT_EQ(spec.nets, 885);
+  EXPECT_TRUE(spec.soft);
+  // The generator needs >= 2 pins per plain net; the published pin count
+  // is below that floor, so the spec raises it.
+  EXPECT_GE(spec.pins, 2 * spec.nets);
+  EXPECT_LE(spec.terminals, spec.nets);
+}
+
+TEST(ScaleTierSpec, ParseAcceptsAllThreeTokenForms) {
+  EXPECT_EQ(parse_scale_tier("n300").name, "n300");
+  EXPECT_EQ(parse_scale_tier("ami49x20").modules, 20 * 49);
+  // A bare module count maps to the smallest covering ami49x rung.
+  const ScaleTierSpec bare = parse_scale_tier("500");
+  EXPECT_EQ(bare.name, "ami49x11");
+  EXPECT_GE(bare.modules, 500);
+  EXPECT_THROW(parse_scale_tier("bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_scale_tier("n"), std::invalid_argument);
+  EXPECT_THROW(parse_scale_tier("ami49x"), std::invalid_argument);
+}
+
+TEST(MakeScaleNetlist, AggregateCountsMatchTheSpecExactly) {
+  const ScaleTierSpec spec = ami49x_spec(2);
+  // Construction runs Netlist::validate(), so structural invariants
+  // (degree >= 2, at least one module pin per net, offsets in range) are
+  // covered by the constructor not throwing.
+  const Netlist netlist = make_scale_netlist(spec);
+  EXPECT_EQ(static_cast<int>(netlist.module_count()), spec.modules);
+  EXPECT_EQ(static_cast<int>(netlist.net_count()), spec.nets);
+  EXPECT_EQ(static_cast<int>(netlist.terminal_count()), spec.terminals);
+  EXPECT_EQ(static_cast<int>(netlist.pin_count()), spec.pins);
+  // Areas are renormalized to the target total (rounding to whole um
+  // perturbs each module, so allow a few percent in aggregate).
+  EXPECT_NEAR(netlist.total_module_area() / spec.total_area_um2, 1.0, 0.05);
+}
+
+TEST(MakeScaleNetlist, SoftTiersProduceSoftModules) {
+  const Netlist netlist = make_scale_netlist(gsrc_style_spec(60));
+  for (const Module& m : netlist.modules()) {
+    EXPECT_TRUE(m.soft);
+    EXPECT_DOUBLE_EQ(m.min_aspect, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(m.max_aspect, 3.0);
+  }
+}
+
+TEST(MakeScaleNetlist, FingerprintIsDeterministicAcrossThreadCounts) {
+  const ScaleTierSpec spec = ami49x_spec(3);
+  ThreadPool::set_global_threads(1);
+  const std::uint64_t single = netlist_fingerprint(make_scale_netlist(spec));
+  ThreadPool::set_global_threads(8);
+  const std::uint64_t eight = netlist_fingerprint(make_scale_netlist(spec));
+  ThreadPool::set_global_threads(ThreadPool::env_threads());
+  EXPECT_EQ(single, eight);
+  // Repeatable within one configuration too.
+  EXPECT_EQ(netlist_fingerprint(make_scale_netlist(spec)), single);
+}
+
+TEST(MakeScaleNetlist, SeedAndSpecChangeTheFingerprint) {
+  const ScaleTierSpec spec = ami49x_spec(2);
+  const std::uint64_t base = netlist_fingerprint(make_scale_netlist(spec, 7));
+  EXPECT_NE(netlist_fingerprint(make_scale_netlist(spec, 8)), base);
+  EXPECT_NE(netlist_fingerprint(make_scale_netlist(ami49x_spec(3), 7)), base);
+}
+
+TEST(NetlistFingerprint, SeesEveryField) {
+  const Netlist a = make_mcnc("apte");
+  const std::uint64_t base = netlist_fingerprint(a);
+  // Same circuit, perturbed module dimension: fingerprint must move.
+  std::vector<Module> modules = a.modules();
+  modules.front().width += 1.0;
+  const Netlist b(a.name(), std::move(modules),
+                  a.terminals(), a.nets());
+  EXPECT_NE(netlist_fingerprint(b), base);
+}
+
+}  // namespace
+}  // namespace ficon

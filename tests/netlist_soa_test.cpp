@@ -1,0 +1,153 @@
+// Tests for the flat SoA netlist view (src/circuit/netlist_soa.hpp) and
+// its use inside TwoPinDecomposer: the CSR and occurrence lists must
+// mirror the array-of-structs netlist exactly, pin positions must be
+// bit-identical to Placement::pin_position(), and the SoA-based caching
+// decomposer must reproduce an independently computed decomposition edge
+// for edge over an annealing move stream.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mcnc.hpp"
+#include "circuit/netlist_soa.hpp"
+#include "floorplan/polish.hpp"
+#include "floorplan/slicing.hpp"
+#include "gen/scale.hpp"
+#include "route/two_pin.hpp"
+#include "util/rng.hpp"
+
+namespace ficon {
+namespace {
+
+Placement packed_placement(const Netlist& netlist, std::uint64_t seed) {
+  Rng rng(seed);
+  PolishExpression expr =
+      PolishExpression::initial(static_cast<int>(netlist.module_count()));
+  expr.random_move(rng);
+  return SlicingPacker(netlist).pack(expr).placement;
+}
+
+TEST(NetlistSoA, CsrMirrorsTheNetlist) {
+  const Netlist netlist = make_mcnc("ami49");
+  const NetlistSoA soa(netlist);
+  ASSERT_EQ(soa.module_count(), netlist.module_count());
+  ASSERT_EQ(soa.net_count(), netlist.net_count());
+  ASSERT_EQ(soa.pin_count(), netlist.pin_count());
+
+  for (std::size_t m = 0; m < netlist.module_count(); ++m) {
+    EXPECT_EQ(soa.module_widths()[m], netlist.modules()[m].width);
+    EXPECT_EQ(soa.module_heights()[m], netlist.modules()[m].height);
+  }
+  for (std::size_t n = 0; n < netlist.net_count(); ++n) {
+    const Net& net = netlist.nets()[n];
+    ASSERT_EQ(soa.degree(n), net.pins.size());
+    bool has_terminal = false;
+    for (std::size_t i = 0; i < net.pins.size(); ++i) {
+      const Pin& pin = net.pins[i];
+      const std::size_t p = soa.pin_begin(n) + i;
+      EXPECT_EQ(soa.pin_module(p), pin.module);
+      EXPECT_EQ(soa.pin_terminal(p), pin.terminal);
+      EXPECT_EQ(soa.pin_fx(p), pin.fx);
+      EXPECT_EQ(soa.pin_fy(p), pin.fy);
+      has_terminal = has_terminal || pin.is_terminal();
+    }
+    EXPECT_EQ(soa.net_has_terminal(n), has_terminal);
+  }
+}
+
+TEST(NetlistSoA, OccurrenceListsAreDedupedSortedAndComplete) {
+  // The synthetic generator produces multi-tile nets and (rarely)
+  // repeated modules within a net — both interesting for the dedup.
+  const Netlist netlist = make_scale_netlist(ami49x_spec(2));
+  const NetlistSoA soa(netlist);
+
+  // Reference: module -> set of incident nets from the AoS netlist.
+  std::vector<std::set<std::uint32_t>> expected(netlist.module_count());
+  for (std::size_t n = 0; n < netlist.net_count(); ++n) {
+    for (const Pin& pin : netlist.nets()[n].pins) {
+      if (!pin.is_terminal()) {
+        expected[static_cast<std::size_t>(pin.module)].insert(
+            static_cast<std::uint32_t>(n));
+      }
+    }
+  }
+  for (std::size_t m = 0; m < netlist.module_count(); ++m) {
+    const std::span<const std::uint32_t> nets = soa.nets_of_module(m);
+    EXPECT_TRUE(std::is_sorted(nets.begin(), nets.end()));
+    const std::set<std::uint32_t> actual(nets.begin(), nets.end());
+    EXPECT_EQ(actual.size(), nets.size()) << "duplicate in module " << m;
+    EXPECT_EQ(actual, expected[m]) << "occurrence mismatch for module " << m;
+  }
+}
+
+TEST(NetlistSoA, PinPositionsBitIdenticalToPlacement) {
+  const Netlist netlist = make_mcnc("ami49");
+  const NetlistSoA soa(netlist);
+  const Placement placement = packed_placement(netlist, 3);
+  for (std::size_t n = 0; n < netlist.net_count(); ++n) {
+    const Net& net = netlist.nets()[n];
+    for (std::size_t i = 0; i < net.pins.size(); ++i) {
+      const Point a = placement.pin_position(net.pins[i]);
+      const Point b = soa.pin_position(soa.pin_begin(n) + i, placement);
+      EXPECT_EQ(a.x, b.x);
+      EXPECT_EQ(a.y, b.y);
+    }
+  }
+}
+
+/// Independent reference decomposition: gather pins through the AoS
+/// Placement::pin_position and run the public one-net MST, bypassing the
+/// SoA, the pin cache and the dirty tracking entirely.
+std::vector<TwoPinNet> reference_edges(const Netlist& netlist,
+                                       const Placement& placement) {
+  std::vector<TwoPinNet> all;
+  std::vector<Point> pins;
+  for (std::size_t n = 0; n < netlist.net_count(); ++n) {
+    pins.clear();
+    for (const Pin& pin : netlist.nets()[n].pins) {
+      pins.push_back(placement.pin_position(pin));
+    }
+    for (const TwoPinNet& e : mst_edges(pins, static_cast<int>(n))) {
+      all.push_back(e);
+    }
+  }
+  return all;
+}
+
+TEST(TwoPinDecomposer, SoaPathBitIdenticalToReferenceOverMoveStream) {
+  const Netlist netlist = make_mcnc("ami49");
+  Rng rng(7);
+  PolishExpression expr =
+      PolishExpression::initial(static_cast<int>(netlist.module_count()));
+  SlicingPacker packer(netlist);
+  TwoPinDecomposer decomposer;
+  for (int move = 0; move < 40; ++move) {
+    expr.random_move(rng);
+    const Placement placement = packer.pack(expr).placement;
+    const std::span<const TwoPinNet> fast =
+        decomposer.decompose(netlist, placement);
+    const std::vector<TwoPinNet> slow = reference_edges(netlist, placement);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < slow.size(); ++i) {
+      EXPECT_EQ(fast[i].a.x, slow[i].a.x) << "move " << move << " edge " << i;
+      EXPECT_EQ(fast[i].a.y, slow[i].a.y);
+      EXPECT_EQ(fast[i].b.x, slow[i].b.x);
+      EXPECT_EQ(fast[i].b.y, slow[i].b.y);
+      EXPECT_EQ(fast[i].source_net, slow[i].source_net);
+    }
+  }
+}
+
+TEST(TwoPinDecomposer, ExposesTheBoundSoaView) {
+  const Netlist netlist = make_mcnc("apte");
+  TwoPinDecomposer decomposer;
+  EXPECT_EQ(decomposer.bound_soa(), nullptr);
+  decomposer.decompose(netlist, packed_placement(netlist, 1));
+  ASSERT_NE(decomposer.bound_soa(), nullptr);
+  EXPECT_EQ(decomposer.bound_soa()->net_count(), netlist.net_count());
+}
+
+}  // namespace
+}  // namespace ficon

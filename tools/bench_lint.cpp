@@ -1,0 +1,153 @@
+// bench_lint — structural validator for BENCH_*.json bench reports.
+//
+// The benches emit machine-readable results through one shared path
+// (bench/bench_common.hpp, BenchReport) in the "ficon-bench-v1" schema
+// documented in docs/BENCHMARKS.md:
+//
+//   {"schema": "ficon-bench-v1", "bench": "<name>",
+//    "meta": {<scalar>...}, "rows": [{<scalar>...}, ...]}
+//
+// where every scalar is a JSON number, string, or null (a non-finite
+// measurement). This tool checks that structure — and, with --require,
+// that every row carries the given keys — so CI can gate on the files
+// without knowing each bench's metrics. Rows must agree on their key set:
+// a row that silently drops a metric is how trend dashboards rot.
+//
+// Usage: bench_lint [--require key[,key...]] FILE...
+// Exit codes mirror trace_lint: 0 clean, 1 schema violation, 2 unreadable
+// or unparsable file.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using ficon::obs::JsonValue;
+
+int check_scalars(const JsonValue& object, const std::string& where) {
+  int rc = 0;
+  for (const auto& [key, value] : object.object) {
+    if (value.type != JsonValue::Type::kNumber &&
+        value.type != JsonValue::Type::kString &&
+        value.type != JsonValue::Type::kNull) {
+      std::cerr << where << ": key \"" << key
+                << "\" must be a number, string, or null\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+int lint_file(const std::string& path,
+              const std::vector<std::string>& required) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << path << ": cannot open\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  std::string error;
+  const auto doc = ficon::obs::parse_json(buffer.str(), &error);
+  if (!doc) {
+    std::cerr << path << ": not JSON: " << error << "\n";
+    return 2;
+  }
+
+  int rc = 0;
+  const auto fail = [&](const std::string& message) {
+    std::cerr << path << ": " << message << "\n";
+    rc = std::max(rc, 1);
+  };
+  if (!doc->is_object()) {
+    fail("top level must be an object");
+    return rc;
+  }
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "ficon-bench-v1") {
+    fail("\"schema\" must be the string \"ficon-bench-v1\"");
+  }
+  const JsonValue* bench = doc->find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string.empty()) {
+    fail("\"bench\" must be a non-empty string");
+  }
+  const JsonValue* meta = doc->find("meta");
+  if (meta == nullptr || !meta->is_object()) {
+    fail("\"meta\" must be an object");
+  } else {
+    rc = std::max(rc, check_scalars(*meta, path + ": meta"));
+  }
+  const JsonValue* rows = doc->find("rows");
+  if (rows == nullptr || rows->type != JsonValue::Type::kArray) {
+    fail("\"rows\" must be an array");
+    return rc;
+  }
+  if (rows->array.empty()) fail("\"rows\" must not be empty");
+
+  std::vector<std::string> row0_keys;
+  for (std::size_t i = 0; i < rows->array.size(); ++i) {
+    const JsonValue& row = rows->array[i];
+    const std::string where = path + ": rows[" + std::to_string(i) + "]";
+    if (!row.is_object()) {
+      fail("rows[" + std::to_string(i) + "] must be an object");
+      continue;
+    }
+    rc = std::max(rc, check_scalars(row, where));
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : row.object) keys.push_back(key);
+    if (i == 0) {
+      row0_keys = keys;
+    } else if (keys != row0_keys) {
+      fail("rows[" + std::to_string(i) +
+           "] key set differs from rows[0] (every row must report the "
+           "same metrics)");
+    }
+    for (const std::string& key : required) {
+      if (row.find(key) == nullptr) {
+        fail("rows[" + std::to_string(i) + "] missing required key \"" +
+             key + "\"");
+      }
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> required;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require" && i + 1 < argc) {
+      std::istringstream keys(argv[++i]);
+      std::string key;
+      while (std::getline(keys, key, ',')) {
+        if (!key.empty()) required.push_back(key);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_lint [--require key[,key...]] FILE...\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: bench_lint [--require key[,key...]] FILE...\n";
+    return 2;
+  }
+  int rc = 0;
+  for (const std::string& path : paths) {
+    rc = std::max(rc, lint_file(path, required));
+  }
+  if (rc == 0) {
+    std::cout << "bench_lint: " << paths.size() << " file(s) clean\n";
+  }
+  return rc;
+}
