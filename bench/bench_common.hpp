@@ -16,6 +16,7 @@
 #include <functional>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -58,7 +59,21 @@ inline double peak_rss_mib() {
 /// trace writer's convention); non-finite values become null.
 class BenchReport {
  public:
-  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+  /// The constructor stamps the machine manifest: git sha (from the
+  /// FICON_GIT_SHA knob — CI sets it, local runs record "unknown"),
+  /// compiler, configured thread count and hardware concurrency.
+  /// Benches append workload identity (e.g. netlist fingerprints) via
+  /// manifest(). The manifest is provenance, not a metric: bench_diff
+  /// prints it but never compares it.
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {
+    add(manifest_, "git_sha", quote(env_string("FICON_GIT_SHA", "unknown")));
+    add(manifest_, "compiler", quote(compiler_id()));
+    add(manifest_, "threads",
+        std::to_string(static_cast<long long>(ThreadPool::env_threads())));
+    add(manifest_, "hardware_threads",
+        std::to_string(static_cast<long long>(
+            std::thread::hardware_concurrency())));
+  }
 
   /// Run-level scalar ("seed", "threads", "circuit", ...).
   void meta(const std::string& key, double v) { add(meta_, key, num(v)); }
@@ -67,6 +82,17 @@ class BenchReport {
   }
   void meta(const std::string& key, const std::string& v) {
     add(meta_, key, quote(v));
+  }
+
+  /// Machine/workload provenance ("netlist_fingerprint", ...).
+  void manifest(const std::string& key, double v) {
+    add(manifest_, key, num(v));
+  }
+  void manifest(const std::string& key, long long v) {
+    add(manifest_, key, std::to_string(v));
+  }
+  void manifest(const std::string& key, const std::string& v) {
+    add(manifest_, key, quote(v));
   }
 
   /// Start the next row; subsequent value() calls fill it.
@@ -85,7 +111,8 @@ class BenchReport {
 
   void write(std::ostream& os) const {
     os << "{\n  \"schema\": \"ficon-bench-v1\",\n  \"bench\": "
-       << quote(bench_) << ",\n  \"meta\": " << object(meta_)
+       << quote(bench_) << ",\n  \"manifest\": " << object(manifest_)
+       << ",\n  \"meta\": " << object(meta_)
        << ",\n  \"rows\": [";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       os << (i == 0 ? "\n    " : ",\n    ") << object(rows_[i]);
@@ -110,6 +137,16 @@ class BenchReport {
   static void add(Fields& fields, const std::string& key,
                   std::string encoded) {
     fields.emplace_back(key, std::move(encoded));
+  }
+
+  static std::string compiler_id() {
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
   }
 
   static std::string num(double v) {
@@ -149,6 +186,7 @@ class BenchReport {
   }
 
   std::string bench_;
+  Fields manifest_;
   Fields meta_;
   std::vector<Fields> rows_;
 };

@@ -155,6 +155,8 @@ int main() {
   std::string reference_repr;
 
   bench::BenchReport report("incremental");
+  report.manifest("netlist_fingerprint",
+                  std::to_string(netlist_fingerprint(netlist)));
   report.meta("circuit", circuit);
   report.meta("scale", config.scale);
   report.meta("repack_speedup", repack.speedup());

@@ -84,6 +84,12 @@ int main() {
             << seed << ", " << moves << " moves per tier\n";
 
   bench::BenchReport report("scale");
+  std::string tier_list;
+  for (const std::string& token : tiers) {
+    if (!tier_list.empty()) tier_list += ',';
+    tier_list += token;
+  }
+  report.manifest("tiers", tier_list);
   report.meta("seed", static_cast<long long>(seed));
   report.meta("moves", static_cast<long long>(moves));
 

@@ -16,6 +16,12 @@
 //     --effort E             SA effort multiplier (default 1.0)
 //     --svg PATH             write placement + IR heat map SVG
 //     --csv PATH             write IR congestion map CSV
+//     --heatmap PATH         write a standalone heat-map SVG of the
+//                            objective model's flow field on the best
+//                            floorplan (requires --model ir|fixed)
+//     --heatmap-features PATH  write the per-cell feature dump for the
+//                            same field (.jsonl extension = JSON Lines,
+//                            anything else = CSV)
 //     --save PATH            write the packed netlist in native format
 //     --trace PATH           enable telemetry and write a JSONL trace
 //                            (also honours the FICON_TRACE env knob)
@@ -152,6 +158,41 @@ int main(int argc, char** argv) {
         .evaluate(nets, sol.placement.chip)
         .write_csv(csv);
     std::cout << "wrote " << path << '\n';
+  }
+  const std::string heatmap_path = get("heatmap", "");
+  const std::string features_path = get("heatmap-features", "");
+  if (!heatmap_path.empty() || !features_path.empty()) {
+    // The heat map renders the *objective's* flow field on the best
+    // floorplan snapshot: same model, same parameters, same nets — the
+    // per-cell values bit-match what the annealer optimized.
+    const ficon::CongestionModel* cmodel = planner.congestion_model();
+    if (cmodel == nullptr) {
+      usage_error("--heatmap/--heatmap-features require --model ir|fixed");
+    }
+    const std::unique_ptr<ficon::FlowField> heat_field =
+        cmodel->evaluate_field(nets, sol.placement.chip);
+    ficon::HeatMapSource source(*heat_field, cmodel->name());
+    source.set_nets(nets);
+    if (!heatmap_path.empty()) {
+      std::ofstream svg(heatmap_path);
+      ficon::HeatMapOptions heat_options;
+      heat_options.title = netlist.name() + " " +
+                           std::string(cmodel->name()) + " congestion";
+      source.write_svg(svg, heat_options);
+      std::cout << "wrote " << heatmap_path << '\n';
+    }
+    if (!features_path.empty()) {
+      std::ofstream features(features_path);
+      const bool jsonl =
+          features_path.size() > 6 &&
+          features_path.compare(features_path.size() - 6, 6, ".jsonl") == 0;
+      if (jsonl) {
+        source.write_features_jsonl(features);
+      } else {
+        source.write_features_csv(features);
+      }
+      std::cout << "wrote " << features_path << '\n';
+    }
   }
   if (const std::string path = get("save", ""); !path.empty()) {
     std::ofstream out(path);

@@ -151,6 +151,15 @@ class Annealer {
         obs::count(obs::Counter::kAnnealUphillAccepted,
                    event.uphill_accepted);
         if (stall > 0) obs::count(obs::Counter::kAnnealStallTemperatures);
+        if (event.proposed > 0) {
+          // Accept-ratio distribution, in ppm so the log buckets resolve
+          // [0, 1] (1.0 -> 1e6, ~20 buckets of dynamic range).
+          const double accept_ratio =
+              static_cast<double>(event.accepted) /
+              static_cast<double>(event.proposed);
+          obs::record_hist(obs::Hist::kAcceptRatioPpm,
+                           std::llround(1e6 * accept_ratio));
+        }
       }
       t *= options_.cooling;
     }

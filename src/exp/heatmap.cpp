@@ -1,0 +1,267 @@
+#include "exp/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace ficon {
+namespace {
+
+/// %.17g: enough digits for a double to round-trip bit-exactly — the
+/// feature dump is a data artifact, not a picture.
+std::string fmt_value(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+/// Fixed two-decimal pixel coordinates: deterministic and compact. SVG
+/// geometry only needs picture precision.
+std::string fmt_px(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+  return buffer;
+}
+
+/// White -> yellow -> red ramp, same palette as `exp/svg.cpp` overlays
+/// so the standalone view and the placement overlay read alike.
+std::string ramp_color(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  int r, g, b;
+  if (t < 0.5) {
+    const double u = t / 0.5;
+    r = 255;
+    g = static_cast<int>(255 - u * 31);
+    b = static_cast<int>(255 - u * 191);
+  } else {
+    const double u = (t - 0.5) / 0.5;
+    r = static_cast<int>(255 - u * 41);
+    g = static_cast<int>(224 - u * 184);
+    b = static_cast<int>(64 - u * 24);
+  }
+  return "rgb(" + std::to_string(r) + ',' + std::to_string(g) + ',' +
+         std::to_string(b) + ')';
+}
+
+/// Column/row boundaries of a grid-like field, reconstructed from the
+/// `cell_rect` geometry hook: boundaries[i] is the low edge of cell i,
+/// boundaries[n] the high edge of the last cell. All three FlowField
+/// implementations are products of per-axis partitions, so row 0 /
+/// column 0 carries the full axis geometry.
+std::vector<double> axis_boundaries(const FlowField& field, bool x_axis) {
+  const int n = x_axis ? field.nx() : field.ny();
+  std::vector<double> boundaries(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i < n; ++i) {
+    const Rect r = x_axis ? field.cell_rect(i, 0) : field.cell_rect(0, i);
+    boundaries[static_cast<std::size_t>(i)] = x_axis ? r.xlo : r.ylo;
+  }
+  const Rect last =
+      x_axis ? field.cell_rect(n - 1, 0) : field.cell_rect(0, n - 1);
+  boundaries[static_cast<std::size_t>(n)] = x_axis ? last.xhi : last.yhi;
+  return boundaries;
+}
+
+/// Cells [first, last] whose closed span intersects [lo, hi]; empty
+/// (first > last) when the range misses the axis. Touching a boundary
+/// counts — a degenerate routing range on a cut line crosses both
+/// neighbours, matching the models' closed routing-range semantics.
+std::pair<int, int> cell_span(const std::vector<double>& boundaries,
+                              double lo, double hi) {
+  const int n = static_cast<int>(boundaries.size()) - 1;
+  // First cell i with boundaries[i + 1] >= lo.
+  const auto first_it =
+      std::lower_bound(boundaries.begin() + 1, boundaries.end(), lo);
+  // Last cell i with boundaries[i] <= hi.
+  const auto last_it =
+      std::upper_bound(boundaries.begin(), boundaries.end() - 1, hi);
+  const int first = static_cast<int>(first_it - (boundaries.begin() + 1));
+  const int last = static_cast<int>(last_it - boundaries.begin()) - 1;
+  return {std::max(first, 0), std::min(last, n - 1)};
+}
+
+}  // namespace
+
+HeatMapSource::HeatMapSource(const FlowField& field, std::string name)
+    : field_(field), name_(std::move(name)) {
+  FICON_REQUIRE(field.nx() > 0 && field.ny() > 0,
+                "cannot build a heat map over an empty field");
+  // Default capacity: spread the total flow uniformly over the total
+  // cell area, so "overflow" means "more than its fair share".
+  double total_value = 0.0;
+  double total_area = 0.0;
+  for (int cy = 0; cy < field_.ny(); ++cy) {
+    for (int cx = 0; cx < field_.nx(); ++cx) {
+      total_value += field_.value_at(cx, cy);
+      total_area += field_.cell_rect(cx, cy).area();
+    }
+  }
+  capacity_density_ = total_area > 0.0 ? total_value / total_area : 0.0;
+}
+
+void HeatMapSource::set_capacity_density(double per_um2) {
+  FICON_REQUIRE(per_um2 >= 0.0, "capacity density must be non-negative");
+  capacity_density_ = per_um2;
+}
+
+void HeatMapSource::set_nets(std::span<const TwoPinNet> nets) {
+  crossing_.assign(static_cast<std::size_t>(field_.cell_count()), 0);
+  const std::vector<double> xs = axis_boundaries(field_, true);
+  const std::vector<double> ys = axis_boundaries(field_, false);
+  for (const TwoPinNet& net : nets) {
+    const Rect range = net.routing_range();
+    const auto [ix0, ix1] = cell_span(xs, range.xlo, range.xhi);
+    const auto [iy0, iy1] = cell_span(ys, range.ylo, range.yhi);
+    for (int cy = iy0; cy <= iy1; ++cy) {
+      for (int cx = ix0; cx <= ix1; ++cx) {
+        crossing_[static_cast<std::size_t>(cy) *
+                      static_cast<std::size_t>(field_.nx()) +
+                  static_cast<std::size_t>(cx)] += 1;
+      }
+    }
+  }
+}
+
+double HeatMapSource::capacity(int cx, int cy) const {
+  return capacity_density_ * field_.cell_rect(cx, cy).area();
+}
+
+double HeatMapSource::overflow(int cx, int cy) const {
+  return std::max(0.0, usage(cx, cy) - capacity(cx, cy));
+}
+
+long long HeatMapSource::crossing_nets(int cx, int cy) const {
+  if (crossing_.empty()) return 0;
+  return crossing_[static_cast<std::size_t>(cy) *
+                       static_cast<std::size_t>(field_.nx()) +
+                   static_cast<std::size_t>(cx)];
+}
+
+void HeatMapSource::write_svg(std::ostream& os,
+                              const HeatMapOptions& options) const {
+  const Rect lo_cell = field_.cell_rect(0, 0);
+  const Rect hi_cell = field_.cell_rect(field_.nx() - 1, field_.ny() - 1);
+  const Rect bounds{lo_cell.xlo, lo_cell.ylo, hi_cell.xhi, hi_cell.yhi};
+  FICON_REQUIRE(bounds.is_proper(), "cannot render an empty field");
+  const double scale =
+      options.canvas_px / std::max(bounds.width(), bounds.height());
+  const double map_w = bounds.width() * scale;
+  const double map_h = bounds.height() * scale;
+  const double title_h = 24.0;
+  const double legend_h = options.draw_legend ? 44.0 : 8.0;
+  const double canvas_w = map_w;
+  const double canvas_h = title_h + map_h + legend_h;
+  // Chip -> pixel, y flipped (SVG grows downwards, chips upwards).
+  const auto px = [&](double x) { return (x - bounds.xlo) * scale; };
+  const auto py = [&](double y) {
+    return title_h + (bounds.yhi - y) * scale;
+  };
+
+  // Densities drive the colors: cells of different sizes are only
+  // comparable per unit area (paper section 4.3).
+  double peak_density = 0.0;
+  for (int cy = 0; cy < field_.ny(); ++cy) {
+    for (int cx = 0; cx < field_.nx(); ++cx) {
+      peak_density = std::max(peak_density, density(cx, cy));
+    }
+  }
+  const double norm = std::max(peak_density, 1e-12);
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << fmt_px(canvas_w) << "\" height=\"" << fmt_px(canvas_h)
+     << "\" viewBox=\"0 0 " << fmt_px(canvas_w) << ' ' << fmt_px(canvas_h)
+     << "\">\n";
+  os << "  <rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+  const std::string title =
+      options.title.empty() ? name_ + " congestion" : options.title;
+  os << "  <text x=\"" << fmt_px(canvas_w / 2.0)
+     << "\" y=\"16\" font-size=\"13\" font-family=\"sans-serif\" "
+        "text-anchor=\"middle\" fill=\"#222222\">"
+     << title << "</text>\n";
+
+  for (int cy = 0; cy < field_.ny(); ++cy) {
+    for (int cx = 0; cx < field_.nx(); ++cx) {
+      const Rect cell = field_.cell_rect(cx, cy);
+      os << "  <rect x=\"" << fmt_px(px(cell.xlo)) << "\" y=\""
+         << fmt_px(py(cell.yhi)) << "\" width=\""
+         << fmt_px(cell.width() * scale) << "\" height=\""
+         << fmt_px(cell.height() * scale) << "\" fill=\""
+         << ramp_color(density(cx, cy) / norm)
+         << "\" stroke=\"#888888\" stroke-width=\"0.3\">";
+      if (options.draw_tooltips) {
+        os << "<title>cell (" << cx << ',' << cy << ") capacity="
+           << fmt_value(capacity(cx, cy)) << " usage="
+           << fmt_value(usage(cx, cy)) << " overflow="
+           << fmt_value(overflow(cx, cy)) << " density="
+           << fmt_value(density(cx, cy)) << " crossing_nets="
+           << crossing_nets(cx, cy) << "</title>";
+      }
+      os << "</rect>\n";
+    }
+  }
+
+  if (options.draw_legend) {
+    const double bar_y = title_h + map_h + 14.0;
+    const double bar_w = canvas_w * 0.6;
+    const double bar_x = (canvas_w - bar_w) / 2.0;
+    os << "  <defs><linearGradient id=\"heat\" x1=\"0\" y1=\"0\" x2=\"1\" "
+          "y2=\"0\">";
+    for (int stop = 0; stop <= 4; ++stop) {
+      const double t = static_cast<double>(stop) / 4.0;
+      os << "<stop offset=\"" << fmt_px(t * 100.0) << "%\" stop-color=\""
+         << ramp_color(t) << "\"/>";
+    }
+    os << "</linearGradient></defs>\n";
+    os << "  <rect x=\"" << fmt_px(bar_x) << "\" y=\"" << fmt_px(bar_y)
+       << "\" width=\"" << fmt_px(bar_w)
+       << "\" height=\"10\" fill=\"url(#heat)\" stroke=\"#555555\" "
+          "stroke-width=\"0.5\"/>\n";
+    os << "  <text x=\"" << fmt_px(bar_x) << "\" y=\""
+       << fmt_px(bar_y + 22.0)
+       << "\" font-size=\"10\" font-family=\"sans-serif\" "
+          "text-anchor=\"start\" fill=\"#222222\">density 0</text>\n";
+    os << "  <text x=\"" << fmt_px(bar_x + bar_w) << "\" y=\""
+       << fmt_px(bar_y + 22.0)
+       << "\" font-size=\"10\" font-family=\"sans-serif\" "
+          "text-anchor=\"end\" fill=\"#222222\">"
+       << fmt_value(peak_density) << "</text>\n";
+  }
+  os << "</svg>\n";
+}
+
+void HeatMapSource::write_features_csv(std::ostream& os) const {
+  os << "cx,cy,xlo,ylo,xhi,yhi,capacity,usage,density,crossing_nets,"
+        "overflow\n";
+  for (int cy = 0; cy < field_.ny(); ++cy) {
+    for (int cx = 0; cx < field_.nx(); ++cx) {
+      const Rect cell = field_.cell_rect(cx, cy);
+      os << cx << ',' << cy << ',' << fmt_value(cell.xlo) << ','
+         << fmt_value(cell.ylo) << ',' << fmt_value(cell.xhi) << ','
+         << fmt_value(cell.yhi) << ',' << fmt_value(capacity(cx, cy))
+         << ',' << fmt_value(usage(cx, cy)) << ','
+         << fmt_value(density(cx, cy)) << ',' << crossing_nets(cx, cy)
+         << ',' << fmt_value(overflow(cx, cy)) << '\n';
+    }
+  }
+}
+
+void HeatMapSource::write_features_jsonl(std::ostream& os) const {
+  for (int cy = 0; cy < field_.ny(); ++cy) {
+    for (int cx = 0; cx < field_.nx(); ++cx) {
+      const Rect cell = field_.cell_rect(cx, cy);
+      os << "{\"source\":\"" << name_ << "\",\"cx\":" << cx
+         << ",\"cy\":" << cy << ",\"xlo\":" << fmt_value(cell.xlo)
+         << ",\"ylo\":" << fmt_value(cell.ylo)
+         << ",\"xhi\":" << fmt_value(cell.xhi)
+         << ",\"yhi\":" << fmt_value(cell.yhi)
+         << ",\"capacity\":" << fmt_value(capacity(cx, cy))
+         << ",\"usage\":" << fmt_value(usage(cx, cy))
+         << ",\"density\":" << fmt_value(density(cx, cy))
+         << ",\"crossing_nets\":" << crossing_nets(cx, cy)
+         << ",\"overflow\":" << fmt_value(overflow(cx, cy)) << "}\n";
+    }
+  }
+}
+
+}  // namespace ficon

@@ -48,8 +48,9 @@
 #include "anneal/annealer.hpp"    // IWYU pragma: export
 #include "core/floorplanner.hpp"  // IWYU pragma: export
 
-// Experiments, tables, SVG output.
+// Experiments, tables, SVG and heat-map output.
 #include "exp/experiment.hpp"  // IWYU pragma: export
+#include "exp/heatmap.hpp"     // IWYU pragma: export
 #include "exp/svg.hpp"         // IWYU pragma: export
 #include "exp/table.hpp"       // IWYU pragma: export
 

@@ -85,6 +85,16 @@ double ratio(long long part, long long whole) {
                    : 0.0;
 }
 
+/// Inclusive lower edge of histogram bucket `b` (see `hist_bucket`).
+long long bucket_lo(int b) { return b == 0 ? 0 : 1LL << (b - 1); }
+
+/// Exclusive upper edge; the top bucket is clamped to LLONG_MAX.
+long long bucket_hi(int b) {
+  if (b == 0) return 1;
+  if (b >= kHistBuckets - 1) return 9223372036854775807LL;
+  return 1LL << b;
+}
+
 }  // namespace
 
 void write_jsonl(std::ostream& os, const TraceReport& report,
@@ -101,6 +111,21 @@ void write_jsonl(std::ostream& os, const TraceReport& report,
     os << "{\"type\":\"phase\",\"name\":\"" << phase_name(p)
        << "\",\"calls\":" << report.phase_call_count(p)
        << ",\"seconds\":" << fmt_double(report.phase_seconds(p)) << "}\n";
+  }
+  for (int i = 0; i < kHistCount; ++i) {
+    const HistSnapshot& h = report.hists[i];
+    os << "{\"type\":\"hist\",\"name\":\""
+       << hist_name(static_cast<Hist>(i)) << "\",\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"buckets\":[";
+    bool first = true;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"lo\":" << bucket_lo(b) << ",\"hi\":" << bucket_hi(b)
+         << ",\"count\":" << h.buckets[b] << "}";
+    }
+    os << "]}\n";
   }
   for (const CacheLine& c : kCacheLines) {
     os << "{\"type\":\"cache\",\"name\":\"" << c.name
@@ -222,6 +247,21 @@ void write_summary(std::ostream& os, const TraceReport& report) {
   phases.print(os);
   os << "\n";
 
+  TextTable hists({"histogram", "count", "mean", "~p50", "~p90", "~p99"});
+  for (int i = 0; i < kHistCount; ++i) {
+    const HistSnapshot& h = report.hists[i];
+    if (h.count == 0) continue;
+    hists.add_row({hist_name(static_cast<Hist>(i)),
+                   std::to_string(h.count), fmt_fixed(h.mean(), 1),
+                   std::to_string(h.quantile_upper_bound(0.50)),
+                   std::to_string(h.quantile_upper_bound(0.90)),
+                   std::to_string(h.quantile_upper_bound(0.99))});
+  }
+  if (hists.row_count() > 0) {
+    hists.print(os);
+    os << "\n";
+  }
+
   TextTable pool({"thread", "tasks", "queue wait s"});
   for (const PoolThreadSample& t : report.pool_threads) {
     pool.add_row({t.thread, std::to_string(t.tasks),
@@ -270,6 +310,12 @@ const std::vector<RecordSchema>& trace_schema() {
         {"calls", T::kNumber},
         {"seconds", T::kNumber}},
        name_table("name", schema::kPhaseNames)},
+      {"hist",
+       {{"name", T::kString},
+        {"count", T::kNumber},
+        {"sum", T::kNumber},
+        {"buckets", T::kArray}},
+       name_table("name", schema::kHistNames)},
       {"cache",
        {{"name", T::kString},
         {"hits", T::kNumber},
@@ -337,6 +383,50 @@ bool known_name(const NameTable& table, const std::string& name) {
   return false;
 }
 
+/// "hist" bucket checks beyond the generic field pass: every bucket is an
+/// object of numbers with lo < hi, the lo sequence is strictly
+/// increasing, and the bucket counts sum to the record's "count".
+TraceLintResult lint_hist_buckets(const JsonValue& record,
+                                  std::string* error) {
+  const JsonValue& buckets = *record.find("buckets");
+  double previous_lo = -1.0;
+  bool have_previous = false;
+  double total = 0.0;
+  for (const JsonValue& bucket : buckets.array) {
+    if (!bucket.is_object()) {
+      return schema_error(error, "hist bucket is not a JSON object");
+    }
+    const JsonValue* lo = bucket.find("lo");
+    const JsonValue* hi = bucket.find("hi");
+    const JsonValue* count = bucket.find("count");
+    if (lo == nullptr || !lo->is_number() || hi == nullptr ||
+        !hi->is_number() || count == nullptr || !count->is_number()) {
+      return schema_error(error,
+                          "hist bucket lacks numeric lo/hi/count fields");
+    }
+    if (!(lo->number < hi->number)) {
+      return schema_error(error, "hist bucket has lo >= hi");
+    }
+    if (have_previous && !(lo->number > previous_lo)) {
+      return schema_error(error,
+                          "hist bucket lo values are not strictly "
+                          "increasing");
+    }
+    previous_lo = lo->number;
+    have_previous = true;
+    if (count->number < 0) {
+      return schema_error(error, "hist bucket has a negative count");
+    }
+    total += count->number;
+  }
+  const double declared = record.find("count")->number;
+  if (total != declared) {
+    return schema_error(error,
+                        "hist bucket counts do not sum to \"count\"");
+  }
+  return TraceLintResult::kOk;
+}
+
 /// One line: kIoError when the text is not JSON at all, kSchemaViolation
 /// when it parses but is not a valid schema-v1 record.
 TraceLintResult lint_trace_line(const std::string& line,
@@ -376,6 +466,10 @@ TraceLintResult lint_trace_line(const std::string& line,
                                        member->string +
                                        "\" is not in the schema registry");
       }
+    }
+    if (type->string == "hist") {
+      const TraceLintResult hist_result = lint_hist_buckets(*value, error);
+      if (hist_result != TraceLintResult::kOk) return hist_result;
     }
     return TraceLintResult::kOk;
   }

@@ -4,10 +4,15 @@
 ///
 /// JSONL schema (one object per line, discriminated by "type"):
 ///
-///   {"type":"meta","version":1,"tool":"..."}
+///   {"type":"meta","version":2,"tool":"..."}
 ///   {"type":"counter","name":"...","value":N}
 ///   {"type":"phase","name":"pack|decompose|congestion",
 ///    "calls":N,"seconds":S}
+///   {"type":"hist","name":"repack_latency_ns|decompose_latency_ns|
+///    congestion_latency_ns|accept_ratio_ppm","count":N,"sum":S,
+///    "buckets":[{"lo":L,"hi":H,"count":N},...]}
+///     — log-bucketed distribution; only non-empty buckets are emitted,
+///       "lo" strictly increasing, bucket counts sum to "count".
 ///   {"type":"cache","name":"score_memo|pack_cached|decomposer",
 ///    "hits":N,"misses":N,"evictions":N}
 ///   {"type":"strategy",

@@ -1,5 +1,5 @@
 /// \file
-/// Schema-v1 name registry for the trace JSONL export.
+/// Schema-v2 name registry for the trace JSONL export.
 ///
 /// Every name that can appear in a trace record — record "type"
 /// discriminators, counter names, phase names, cache names, strategy
@@ -23,13 +23,16 @@
 namespace ficon::obs::schema {
 
 /// Bump when a record shape or name table changes incompatibly.
-inline constexpr int kVersion = 1;
+/// v2: added the "hist" record type (log-bucketed latency / accept-ratio
+/// histograms) and the `kHistNames` table.
+inline constexpr int kVersion = 2;
 
 /// Record "type" discriminators, in the order the writer emits them.
 inline constexpr const char* kRecordTypes[] = {
     "meta",
     "counter",
     "phase",
+    "hist",
     "cache",
     "strategy",
     "thread_pool",
@@ -84,6 +87,18 @@ inline constexpr const char* kPhaseNames[] = {
     "pack",
     "decompose",
     "congestion",
+};
+
+/// Histogram names, indexed by `ficon::obs::Hist`. `obs/trace.cpp`
+/// static_asserts that this table and the enum stay the same length.
+/// The first three mirror the facade phases (per-call latency in ns);
+/// `accept_ratio_ppm` samples each temperature's accepted/proposed ratio
+/// in parts per million so the log buckets resolve [0, 1] usefully.
+inline constexpr const char* kHistNames[] = {
+    "repack_latency_ns",
+    "decompose_latency_ns",
+    "congestion_latency_ns",
+    "accept_ratio_ppm",
 };
 
 /// Cache rows of the "cache" record.

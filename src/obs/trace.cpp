@@ -16,10 +16,19 @@ namespace {
 /// join points where the producing threads are quiescent. The
 /// variable-size members (events, label) are guarded by the sink's own
 /// mutex; lock order is registry.mutex before sink.mutex.
+/// Per-thread histogram storage: relaxed-atomic bucket counts plus a
+/// running sum, merged into `HistSnapshot`s by `capture()`.
+struct HistSink {
+  std::array<std::atomic<long long>, kHistBuckets> buckets{};
+  std::atomic<long long> count{0};
+  std::atomic<long long> sum{0};
+};
+
 struct ThreadSink {
   std::array<std::atomic<long long>, kCounterCount> counters{};
   std::array<std::atomic<long long>, kPhaseCount> phase_ns{};
   std::array<std::atomic<long long>, kPhaseCount> phase_calls{};
+  std::array<HistSink, kHistCount> hists{};
   Mutex mutex;
   std::vector<AnnealEvent> events FICON_GUARDED_BY(mutex);
   std::string label FICON_GUARDED_BY(mutex);
@@ -99,6 +108,26 @@ void add_phase_slow(Phase p, long long ns) {
                                                std::memory_order_relaxed);
   sink.phase_calls[static_cast<int>(p)].fetch_add(
       1, std::memory_order_relaxed);
+  // Phases double as per-call latency distributions: Phase and the
+  // leading Hist entries are index-aligned, so every ScopedPhase sample
+  // also lands in the matching latency histogram for free.
+  static_assert(static_cast<int>(Phase::kPack) ==
+                    static_cast<int>(Hist::kRepackNs),
+                "Phase/Hist latency indices out of sync");
+  static_assert(static_cast<int>(Phase::kDecompose) ==
+                    static_cast<int>(Hist::kDecomposeNs),
+                "Phase/Hist latency indices out of sync");
+  static_assert(static_cast<int>(Phase::kCongestion) ==
+                    static_cast<int>(Hist::kCongestionNs),
+                "Phase/Hist latency indices out of sync");
+  record_hist_slow(static_cast<Hist>(p), ns);
+}
+
+void record_hist_slow(Hist h, long long v) {
+  HistSink& hist = local_sink().hists[static_cast<int>(h)];
+  hist.buckets[hist_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  hist.sum.fetch_add(v, std::memory_order_relaxed);
 }
 
 }  // namespace detail
@@ -110,6 +139,8 @@ static_assert(std::size(schema::kCounterNames) == kCounterCount,
               "obs/schema.hpp counter-name table out of sync with Counter");
 static_assert(std::size(schema::kPhaseNames) == kPhaseCount,
               "obs/schema.hpp phase-name table out of sync with Phase");
+static_assert(std::size(schema::kHistNames) == kHistCount,
+              "obs/schema.hpp hist-name table out of sync with Hist");
 
 const char* counter_name(Counter c) {
   const int i = static_cast<int>(c);
@@ -121,6 +152,28 @@ const char* phase_name(Phase p) {
   const int i = static_cast<int>(p);
   if (i < 0 || i >= kPhaseCount) return "unknown";
   return schema::kPhaseNames[i];
+}
+
+const char* hist_name(Hist h) {
+  const int i = static_cast<int>(h);
+  if (i < 0 || i >= kHistCount) return "unknown";
+  return schema::kHistNames[i];
+}
+
+long long HistSnapshot::quantile_upper_bound(double fraction) const {
+  if (count <= 0) return 0;
+  const double target = fraction * static_cast<double>(count);
+  long long cumulative = 0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target) {
+      // Upper edge of bucket b: 1 for the <=0 bucket, else 2^b.
+      if (b == 0) return 1;
+      if (b >= 62) return (1LL << 62);
+      return 1LL << b;
+    }
+  }
+  return (1LL << 62);
 }
 
 void set_trace_enabled(bool enabled) {
@@ -168,6 +221,15 @@ TraceReport capture() {
       report.phase_calls[i] +=
           sink->phase_calls[i].load(std::memory_order_relaxed);
     }
+    for (int i = 0; i < kHistCount; ++i) {
+      HistSnapshot& merged = report.hists[i];
+      const HistSink& hist = sink->hists[i];
+      for (int b = 0; b < kHistBuckets; ++b) {
+        merged.buckets[b] += hist.buckets[b].load(std::memory_order_relaxed);
+      }
+      merged.count += hist.count.load(std::memory_order_relaxed);
+      merged.sum += hist.sum.load(std::memory_order_relaxed);
+    }
     const long long tasks =
         sink->counters[static_cast<int>(Counter::kPoolTasks)].load(
             std::memory_order_relaxed);
@@ -203,6 +265,11 @@ void reset() {
     for (auto& p : sink->phase_ns) p.store(0, std::memory_order_relaxed);
     for (auto& p : sink->phase_calls) {
       p.store(0, std::memory_order_relaxed);
+    }
+    for (auto& h : sink->hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
     }
     const MutexLock sink_lock(sink->mutex);
     sink->events.clear();

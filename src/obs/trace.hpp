@@ -96,12 +96,49 @@ inline constexpr int kPhaseCount = static_cast<int>(Phase::kCount);
 
 const char* phase_name(Phase p);
 
+/// Log-bucketed distributions. The first three mirror `Phase` (per-call
+/// latency in nanoseconds, recorded automatically by `ScopedPhase`); the
+/// accept-ratio histogram samples each annealing temperature's
+/// accepted/proposed ratio in parts per million. Same registry
+/// discipline as counters: names live in `obs/schema.hpp::kHistNames`,
+/// pinned by a static_assert in `obs/trace.cpp`.
+enum class Hist : int {
+  kRepackNs = 0,      ///< Per-move cached re-pack latency (= Phase::kPack).
+  kDecomposeNs,       ///< Per-move decomposition latency.
+  kCongestionNs,      ///< Per-evaluation congestion-model latency.
+  kAcceptRatioPpm,    ///< Per-temperature accepted/proposed, in ppm.
+  kCount,
+};
+
+inline constexpr int kHistCount = static_cast<int>(Hist::kCount);
+
+/// Power-of-two buckets: index 0 holds values <= 0, index b >= 1 holds
+/// [2^(b-1), 2^b). 64 buckets cover the full non-negative long long
+/// range, so nanosecond latencies and ppm ratios share one shape.
+inline constexpr int kHistBuckets = 64;
+
+/// Stable snake_case identifier for the JSONL export.
+const char* hist_name(Hist h);
+
+/// Bucket index for a sample (pure; shared by recorder and tests).
+inline int hist_bucket(long long v) {
+  if (v <= 0) return 0;
+  int b = 0;
+  unsigned long long u = static_cast<unsigned long long>(v);
+  while (u != 0) {
+    u >>= 1;
+    ++b;
+  }
+  return b < kHistBuckets ? b : kHistBuckets - 1;
+}
+
 namespace detail {
 
 extern std::atomic<bool> g_enabled;
 
 void count_slow(Counter c, long long n);
 void add_phase_slow(Phase p, long long ns);
+void record_hist_slow(Hist h, long long v);
 
 }  // namespace detail
 
@@ -121,6 +158,13 @@ std::string trace_output_path();
 /// one branch) when tracing is disabled.
 inline void count(Counter c, long long n = 1) {
   if (trace_enabled()) detail::count_slow(c, n);
+}
+
+/// Record one sample into histogram `h` on the calling thread's sink.
+/// Same cost discipline as `count()`: one relaxed load plus a branch
+/// when tracing is off.
+inline void record_hist(Hist h, long long v) {
+  if (trace_enabled()) detail::record_hist_slow(h, v);
 }
 
 /// RAII span timer for a facade phase. Reads the clock only when tracing
@@ -191,11 +235,27 @@ struct PoolThreadSample {
   long long queue_wait_ns = 0;
 };
 
+/// Merged snapshot of one log-bucketed histogram.
+struct HistSnapshot {
+  std::array<long long, kHistBuckets> buckets{};
+  long long count = 0;  ///< Total samples (== sum of bucket counts).
+  long long sum = 0;    ///< Sum of raw sample values.
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+  /// Upper edge of the bucket where the cumulative count first reaches
+  /// `fraction` of the total (a conservative quantile estimate).
+  long long quantile_upper_bound(double fraction) const;
+};
+
 /// Aggregated snapshot of every sink, merged at a join point.
 struct TraceReport {
   std::array<long long, kCounterCount> counters{};
   std::array<long long, kPhaseCount> phase_ns{};
   std::array<long long, kPhaseCount> phase_calls{};
+  std::array<HistSnapshot, kHistCount> hists{};
   std::vector<PoolThreadSample> pool_threads;
   std::vector<AnnealEvent> anneal;  ///< Sorted by (run, step).
 
@@ -207,6 +267,9 @@ struct TraceReport {
   }
   long long phase_call_count(Phase p) const {
     return phase_calls[static_cast<int>(p)];
+  }
+  const HistSnapshot& hist(Hist h) const {
+    return hists[static_cast<int>(h)];
   }
 };
 

@@ -1,5 +1,5 @@
 // ficon_lint end-to-end: the real tree must lint clean against the
-// committed baseline, and a seeded violation of each rule F001–F006 must
+// committed baseline, and a seeded violation of each rule F001–F007 must
 // be caught in a synthetic repo. Runs the binary as a subprocess — these
 // are contract tests on the CLI (output + exit codes), not unit tests of
 // the scanner internals.
@@ -77,7 +77,8 @@ TEST(FiconLint, RealTreeIsCleanAgainstCommittedBaseline) {
 TEST(FiconLint, ListRulesAndUsage) {
   const LintRun rules = run_lint("--list-rules");
   EXPECT_EQ(rules.exit_code, 0);
-  for (const char* id : {"F001", "F002", "F003", "F004", "F005", "F006"}) {
+  for (const char* id :
+       {"F001", "F002", "F003", "F004", "F005", "F006", "F007"}) {
     EXPECT_NE(rules.output.find(id), std::string::npos) << id;
   }
   EXPECT_EQ(run_lint("--bogus-flag").exit_code, 2);
@@ -191,6 +192,25 @@ TEST(FiconLint, F006CatchesMissingAndRedundantOverride) {
   EXPECT_EQ(run.output.find("z.hpp:2:"), std::string::npos) << run.output;
   EXPECT_EQ(run.output.find("z.hpp:3:"), std::string::npos) << run.output;
   EXPECT_EQ(run.output.find("z.hpp:8:"), std::string::npos) << run.output;
+}
+
+TEST(FiconLint, F007CatchesAdHocSvgEmissionOutsideExp) {
+  SeededRepo repo("f007");
+  repo.write("src/anneal/dump.cpp",
+             "void dump(std::ostream& os) { os << \"<svg width='9'>\"; }\n");
+  // src/exp/ owns SVG rendering; tests may build fixtures.
+  repo.write("src/exp/writer.cpp",
+             "void w(std::ostream& os) { os << \"<svg>\"; }\n");
+  repo.write("tests/fixture.cpp", "const char* kSvg = \"<svg>\";\n");
+  const LintRun run = repo.lint();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/anneal/dump.cpp:1: F007"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("src/exp/writer.cpp"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("tests/fixture.cpp"), std::string::npos)
+      << run.output;
 }
 
 TEST(FiconLint, BaselineSuppressesOnlyJustifiedEntries) {

@@ -79,6 +79,64 @@ TEST_F(ObsTest, DisabledTracingRecordsNothing) {
         << obs::counter_name(static_cast<obs::Counter>(c));
   }
   EXPECT_TRUE(report.anneal.empty());
+  for (int h = 0; h < obs::kHistCount; ++h) {
+    EXPECT_EQ(report.hists[static_cast<std::size_t>(h)].count, 0)
+        << obs::hist_name(static_cast<obs::Hist>(h));
+  }
+}
+
+TEST_F(ObsTest, HistBucketIndexIsLogBaseTwo) {
+  // Bucket 0 holds v <= 0 plus nothing else; bucket b >= 1 holds
+  // [2^(b-1), 2^b). The JSONL bounds in report.cpp depend on exactly this
+  // placement.
+  EXPECT_EQ(obs::hist_bucket(-5), 0);
+  EXPECT_EQ(obs::hist_bucket(0), 0);
+  EXPECT_EQ(obs::hist_bucket(1), 1);
+  EXPECT_EQ(obs::hist_bucket(2), 2);
+  EXPECT_EQ(obs::hist_bucket(3), 2);
+  EXPECT_EQ(obs::hist_bucket(4), 3);
+  EXPECT_EQ(obs::hist_bucket(1023), 10);
+  EXPECT_EQ(obs::hist_bucket(1024), 11);
+  // Saturates at the last bucket instead of indexing out of range.
+  EXPECT_EQ(obs::hist_bucket((1LL << 62) + 1), obs::kHistBuckets - 1);
+}
+
+TEST_F(ObsTest, LatencyHistogramsTrackPhaseCallCounts) {
+  // The phase timers double as the latency histograms' feed: one sample
+  // per ScopedPhase, so per-hist sample counts must equal phase calls.
+  obs::set_trace_enabled(true);
+  const Netlist netlist = make_mcnc("apte");
+  (void)Floorplanner(netlist, small_run_options()).run();
+  const obs::TraceReport report = obs::capture();
+
+  EXPECT_EQ(report.hist(obs::Hist::kRepackNs).count,
+            report.phase_call_count(obs::Phase::kPack));
+  EXPECT_EQ(report.hist(obs::Hist::kDecomposeNs).count,
+            report.phase_call_count(obs::Phase::kDecompose));
+  EXPECT_EQ(report.hist(obs::Hist::kCongestionNs).count,
+            report.phase_call_count(obs::Phase::kCongestion));
+  // One accept-ratio sample per temperature with at least one proposal.
+  long long proposing_temps = 0;
+  for (const obs::AnnealEvent& e : report.anneal) {
+    if (e.proposed > 0) ++proposing_temps;
+  }
+  EXPECT_EQ(report.hist(obs::Hist::kAcceptRatioPpm).count, proposing_temps);
+
+  for (int h = 0; h < obs::kHistCount; ++h) {
+    const obs::HistSnapshot& snap =
+        report.hists[static_cast<std::size_t>(h)];
+    long long total = 0;
+    for (const long long b : snap.buckets) total += b;
+    EXPECT_EQ(total, snap.count)
+        << obs::hist_name(static_cast<obs::Hist>(h));
+    if (snap.count > 0) {
+      EXPECT_GE(snap.mean(), 0.0);
+      EXPECT_LE(snap.quantile_upper_bound(0.5),
+                snap.quantile_upper_bound(0.99));
+    }
+  }
+  EXPECT_GT(report.hist(obs::Hist::kRepackNs).count, 0);
+  EXPECT_GT(report.hist(obs::Hist::kAcceptRatioPpm).count, 0);
 }
 
 TEST_F(ObsTest, ScoreMemoCountersMatchItsOwnStats) {
@@ -198,6 +256,7 @@ TEST_F(ObsTest, JsonlExportRoundTripsThroughValidator) {
   EXPECT_NE(text.find("\"type\":\"strategy\""), std::string::npos);
   EXPECT_NE(text.find("\"type\":\"thread_pool\""), std::string::npos);
   EXPECT_NE(text.find("\"type\":\"solution\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"hist\""), std::string::npos);
 
   // The human summary renders without throwing and mentions each table.
   std::ostringstream summary;
@@ -205,11 +264,13 @@ TEST_F(ObsTest, JsonlExportRoundTripsThroughValidator) {
   EXPECT_NE(summary.str().find("annealer"), std::string::npos);
   EXPECT_NE(summary.str().find("cache"), std::string::npos);
   EXPECT_NE(summary.str().find("strategy"), std::string::npos);
+  EXPECT_NE(summary.str().find("histogram"), std::string::npos);
 }
 
 TEST_F(ObsTest, ResetZeroesEverything) {
   obs::set_trace_enabled(true);
   obs::count(obs::Counter::kIrEvaluations, 5);
+  obs::record_hist(obs::Hist::kRepackNs, 1234);
   obs::AnnealEvent event;
   event.run = obs::next_anneal_run();
   obs::record_anneal(event);
@@ -217,6 +278,8 @@ TEST_F(ObsTest, ResetZeroesEverything) {
   const obs::TraceReport report = obs::capture();
   EXPECT_EQ(report.counter(obs::Counter::kIrEvaluations), 0);
   EXPECT_TRUE(report.anneal.empty());
+  EXPECT_EQ(report.hist(obs::Hist::kRepackNs).count, 0);
+  EXPECT_EQ(report.hist(obs::Hist::kRepackNs).sum, 0);
   EXPECT_EQ(obs::next_anneal_run(), 0);  // run ids restart after reset
 }
 

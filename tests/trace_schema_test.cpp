@@ -64,7 +64,7 @@ TEST(JsonParser, RejectsMalformedInput) {
 
 TEST(TraceSchema, AcceptsEveryDocumentedRecordType) {
   const char* lines[] = {
-      R"({"type":"meta","version":1,"tool":"t"})",
+      R"({"type":"meta","version":2,"tool":"t"})",
       R"({"type":"counter","name":"anneal_runs","value":1})",
       R"({"type":"phase","name":"pack","calls":3,"seconds":0.5})",
       R"({"type":"cache","name":"score_memo","hits":1,"misses":2,"evictions":0})",
@@ -72,11 +72,52 @@ TEST(TraceSchema, AcceptsEveryDocumentedRecordType) {
       R"({"type":"thread_pool","thread":"worker-0","tasks":4,"queue_wait_seconds":0.001})",
       R"({"type":"anneal_summary","runs":1,"temperatures":2,"proposed":40,"accepted":12,"uphill_accepted":3,"stall_temperatures":0})",
       R"({"type":"solution","area":1.0,"wirelength":2.0,"congestion":0.5,"cost":3.5,"seconds":0.1})",
+      R"({"type":"hist","name":"repack_latency_ns","count":3,"sum":9,"buckets":[{"lo":1,"hi":2,"count":1},{"lo":2,"hi":4,"count":2}]})",
+      R"({"type":"hist","name":"accept_ratio_ppm","count":0,"sum":0,"buckets":[]})",
   };
   for (const char* line : lines) {
     std::string error;
     EXPECT_TRUE(obs::validate_trace_line(line, &error)) << line << ": "
                                                         << error;
+  }
+}
+
+TEST(TraceSchema, HistRecordsAreCheckedForBucketConsistency) {
+  // Bucket lists must be well-formed: numeric lo/hi/count per bucket,
+  // lo < hi, strictly increasing lo, non-negative counts summing to the
+  // declared "count". A sparse export is how a corrupted merge would
+  // slip by — lint it hard.
+  const char* bad[] = {
+      // Unregistered histogram name.
+      R"({"type":"hist","name":"vibes_ns","count":0,"sum":0,"buckets":[]})",
+      // Bucket is not an object.
+      R"({"type":"hist","name":"repack_latency_ns","count":1,"sum":1,"buckets":[7]})",
+      // Bucket missing "count".
+      R"({"type":"hist","name":"repack_latency_ns","count":1,"sum":1,"buckets":[{"lo":1,"hi":2}]})",
+      // lo >= hi.
+      R"({"type":"hist","name":"repack_latency_ns","count":1,"sum":1,"buckets":[{"lo":4,"hi":2,"count":1}]})",
+      // Non-monotone lo sequence.
+      R"({"type":"hist","name":"repack_latency_ns","count":2,"sum":6,"buckets":[{"lo":4,"hi":8,"count":1},{"lo":2,"hi":4,"count":1}]})",
+      // Negative bucket count.
+      R"({"type":"hist","name":"repack_latency_ns","count":1,"sum":1,"buckets":[{"lo":1,"hi":2,"count":-1}]})",
+      // Bucket counts do not sum to the declared total.
+      R"({"type":"hist","name":"repack_latency_ns","count":5,"sum":9,"buckets":[{"lo":1,"hi":2,"count":1},{"lo":2,"hi":4,"count":2}]})",
+  };
+  for (const char* line : bad) {
+    std::string error;
+    EXPECT_FALSE(obs::validate_trace_line(line, &error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+TEST(TraceSchema, EveryHistNameIsRegistered) {
+  for (int i = 0; i < obs::kHistCount; ++i) {
+    const std::string line =
+        std::string(R"({"type":"hist","name":")") +
+        obs::hist_name(static_cast<obs::Hist>(i)) +
+        R"(","count":0,"sum":0,"buckets":[]})";
+    std::string error;
+    EXPECT_TRUE(obs::validate_trace_line(line, &error)) << error;
   }
 }
 
@@ -138,7 +179,7 @@ TEST(TraceSchema, StreamValidatorRequiresLeadingMeta) {
   std::string error;
 
   std::istringstream good(
-      "{\"type\":\"meta\",\"version\":1,\"tool\":\"t\"}\n"
+      "{\"type\":\"meta\",\"version\":2,\"tool\":\"t\"}\n"
       "{\"type\":\"counter\",\"name\":\"anneal_runs\",\"value\":0}\n"
       "\n");  // blank lines are fine
   EXPECT_TRUE(obs::validate_trace(good, &error)) << error;
@@ -152,7 +193,7 @@ TEST(TraceSchema, StreamValidatorRequiresLeadingMeta) {
   EXPECT_FALSE(obs::validate_trace(wrong_version, &error));
 
   std::istringstream bad_tail(
-      "{\"type\":\"meta\",\"version\":1,\"tool\":\"t\"}\n"
+      "{\"type\":\"meta\",\"version\":2,\"tool\":\"t\"}\n"
       "{\"type\":\"counter\"}\n");
   EXPECT_FALSE(obs::validate_trace(bad_tail, &error));
   EXPECT_NE(error.find("line"), std::string::npos);  // position-tagged
@@ -168,12 +209,12 @@ TEST(TraceLint, DistinguishesSchemaViolationFromParseError) {
 
   std::string error;
   std::istringstream ok(
-      "{\"type\":\"meta\",\"version\":1,\"tool\":\"t\"}\n");
+      "{\"type\":\"meta\",\"version\":2,\"tool\":\"t\"}\n");
   EXPECT_EQ(obs::lint_trace(ok, &error), obs::TraceLintResult::kOk);
 
   // Well-formed JSON, but the record violates the schema -> 1.
   std::istringstream bad_record(
-      "{\"type\":\"meta\",\"version\":1,\"tool\":\"t\"}\n"
+      "{\"type\":\"meta\",\"version\":2,\"tool\":\"t\"}\n"
       "{\"type\":\"counter\",\"name\":\"anneal_runs\"}\n");
   EXPECT_EQ(obs::lint_trace(bad_record, &error),
             obs::TraceLintResult::kSchemaViolation);

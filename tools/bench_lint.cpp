@@ -83,6 +83,16 @@ int lint_file(const std::string& path,
   } else {
     rc = std::max(rc, check_scalars(*meta, path + ": meta"));
   }
+  // Optional machine-provenance block (git sha, compiler, thread count,
+  // workload fingerprints) — same scalar discipline as meta.
+  const JsonValue* manifest = doc->find("manifest");
+  if (manifest != nullptr) {
+    if (!manifest->is_object()) {
+      fail("\"manifest\" must be an object when present");
+    } else {
+      rc = std::max(rc, check_scalars(*manifest, path + ": manifest"));
+    }
+  }
   const JsonValue* rows = doc->find("rows");
   if (rows == nullptr || rows->type != JsonValue::Type::kArray) {
     fail("\"rows\" must be an array");

@@ -21,6 +21,10 @@
 //         util/rng.hpp — all randomness comes from seeded Rng streams
 //   F006  derived-class members spelled `virtual` must say `override`
 //         (and `virtual` + `override` together is redundant)
+//   F007  SVG emission stays in src/exp/ — heat-map and feature-dump
+//         writers go through the HeatMapSource / write_svg APIs instead
+//         of hand-rolling "<svg" markup elsewhere (tests/ excepted:
+//         they assert on the emitted markup)
 //
 // Findings can be suppressed through a committed baseline
 // (.ficon-lint-baseline.json). Every baseline entry must carry a
@@ -278,6 +282,7 @@ class Linter {
     rule_float_equality();
     rule_rng_discipline();
     rule_missing_override();
+    rule_svg_emission();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return std::tie(a.rule, a.file, a.line) <
@@ -522,6 +527,28 @@ class Linter {
     }
   }
 
+  // F007 — no ad-hoc SVG emission outside src/exp/: anything writing
+  // "<svg" markup must go through the HeatMapSource / write_svg APIs so
+  // every rendered artifact inherits their determinism contract.
+  // tests/ may quote the markup to assert on it.
+  void rule_svg_emission() {
+    for (const RepoFile& f : files_) {
+      // The linter's own needle literal would match itself.
+      if (f.rel.rfind("src/exp/", 0) == 0 || f.rel.rfind("tests/", 0) == 0 ||
+          f.rel == "tools/ficon_lint.cpp") {
+        continue;
+      }
+      for (std::size_t i = 0; i < f.views.text.size(); ++i) {
+        // The marker lives inside a string literal — use the text view.
+        if (f.views.text[i].find("<svg") != std::string::npos) {
+          add("F007", f, i,
+              "ad-hoc SVG emission; render through HeatMapSource / "
+              "write_svg in src/exp/");
+        }
+      }
+    }
+  }
+
   fs::path repo_;
   std::vector<RepoFile> files_;
   std::string readme_;
@@ -611,7 +638,9 @@ void list_rules() {
       << "F003  examples/ and bench/ include \"ficon.hpp\" only\n"
       << "F004  no floating-point ==/!= against float literals\n"
       << "F005  no raw RNG primitives outside util/rng.hpp\n"
-      << "F006  derived-class virtual members must say override\n";
+      << "F006  derived-class virtual members must say override\n"
+      << "F007  SVG emission goes through src/exp/ "
+         "(HeatMapSource/write_svg)\n";
 }
 
 }  // namespace
