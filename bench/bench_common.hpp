@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -38,8 +39,12 @@ inline double timed_ms(const std::function<void()>& fn, int repeats,
 
 /// Peak resident set size of this process in MiB (Linux VmHWM — a
 /// high-water mark, so it is monotone over a run: measure size tiers in
-/// ascending order). 0.0 where /proc is unavailable.
-inline double peak_rss_mib() {
+/// ascending order). nullopt where /proc/self/status or the VmHWM line
+/// is unavailable (non-Linux, sandboxed): benches must then OMIT the
+/// metric from their report rather than bake a fake 0.0 MiB into a
+/// baseline that bench_diff would hold future runs against. The key is
+/// on the optional-metric exemption list of bench_lint/bench_diff.
+inline std::optional<double> peak_rss_mib() {
   std::ifstream status("/proc/self/status");
   std::string line;
   while (std::getline(status, line)) {
@@ -47,7 +52,7 @@ inline double peak_rss_mib() {
       return std::strtod(line.c_str() + 6, nullptr) / 1024.0;  // kB -> MiB
     }
   }
-  return 0.0;
+  return std::nullopt;
 }
 
 /// @brief Collects one bench run's metrics and writes BENCH_<name>.json.

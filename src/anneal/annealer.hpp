@@ -40,6 +40,13 @@ struct AnnealOptions {
   double stop_temperature_ratio = 1e-4;
   int max_stall_temperatures = 8;
   int warmup_samples = 60;            ///< random walk length for T0
+  /// Cooperative cancellation hook (empty = never cancel). Polled at
+  /// every temperature step and every 64 proposed moves; when it returns
+  /// true the run stops early and returns the best state found so far
+  /// with stats.cancelled set. The poll is a pure read — as long as it
+  /// keeps returning false the run is bit-identical to one with no hook
+  /// installed (the service layer's determinism rests on this).
+  std::function<bool()> should_stop;
 };
 
 struct AnnealStats {
@@ -48,6 +55,7 @@ struct AnnealStats {
   long long moves_accepted = 0;
   double initial_temperature = 0.0;
   double final_temperature = 0.0;
+  bool cancelled = false;  ///< should_stop() fired before convergence
 };
 
 template <typename State>
@@ -93,13 +101,25 @@ class Annealer {
     const int trace_run = tracing ? obs::next_anneal_run() : 0;
     if (tracing) obs::count(obs::Counter::kAnnealRuns);
 
+    const auto cancel_requested = [this] {
+      return options_.should_stop && options_.should_stop();
+    };
+
     int stall = 0;
     for (int step = 0; t > t_stop && stall < options_.max_stall_temperatures;
          ++step) {
+      if (cancel_requested()) {
+        result.stats.cancelled = true;
+        break;
+      }
       bool improved = false;
       const double cost_at_start = current_cost;
       obs::AnnealEvent event;
       for (int mv = 0; mv < options_.moves_per_temperature; ++mv) {
+        if ((mv & 63) == 0 && mv != 0 && cancel_requested()) {
+          result.stats.cancelled = true;
+          break;
+        }
         State candidate = neighbor_(current, rng);
         const double candidate_cost = cost_(candidate);
         ++result.stats.moves_proposed;
@@ -131,6 +151,9 @@ class Annealer {
           }
         }
       }
+      // A cancelled temperature is partial work: stop before counting it
+      // or feeding it to the snapshot/trace consumers.
+      if (result.stats.cancelled) break;
       ++result.stats.temperature_steps;
       if (snapshot) snapshot(step, t, current, current_cost);
       // See the header comment: descending back from an uphill excursion

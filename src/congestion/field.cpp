@@ -38,11 +38,15 @@ double FlowField::top_area_fraction_density(double fraction) const {
   double used = 0.0;
   double weighted = 0.0;
   while (heap_end != cells.begin()) {
+    if (budget - used <= 0.0) break;
     std::pop_heap(cells.begin(), heap_end, by_density);
     --heap_end;
     const CellScore& c = *heap_end;
     const double take = std::min(c.area, budget - used);
-    if (take <= 0.0) break;
+    // A zero-area (degenerate) cell contributes neither cost nor area;
+    // skip it rather than breaking so equal-density siblings with real
+    // area still fill the budget.
+    if (take <= 0.0) continue;
     weighted += c.density * take;
     used += take;
   }

@@ -66,8 +66,13 @@ class FlowField {
 
   /// Value density of a cell: value / area (um^-2). Cells of different
   /// sizes are only comparable after this normalization (section 4.3).
+  /// A degenerate zero-area cell (possible on collapsed IR partitions)
+  /// has density 0 by definition — it covers no routable area — instead
+  /// of the inf/NaN a raw division would propagate into
+  /// top_area_fraction_density(), the heat-map export and bench reports.
   double density(int cx, int cy) const {
-    return value_at(cx, cy) / cell_rect(cx, cy).area();
+    const double area = cell_rect(cx, cy).area();
+    return area > 0.0 ? value_at(cx, cy) / area : 0.0;
   }
 
   /// Area-weighted mean density over the `fraction` of chip area with the

@@ -48,6 +48,11 @@
 #include "anneal/annealer.hpp"    // IWYU pragma: export
 #include "core/floorplanner.hpp"  // IWYU pragma: export
 
+// Service layer: the EngineSession batch API and the ficond wire
+// protocol (length-prefixed JSON frames).
+#include "service/protocol.hpp"  // IWYU pragma: export
+#include "service/session.hpp"   // IWYU pragma: export
+
 // Experiments, tables, SVG and heat-map output.
 #include "exp/experiment.hpp"  // IWYU pragma: export
 #include "exp/heatmap.hpp"     // IWYU pragma: export

@@ -1,0 +1,531 @@
+#include "service/protocol.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FICON_HAVE_POSIX_FD 1
+#endif
+
+#include "obs/json.hpp"
+
+namespace ficon::service {
+
+namespace {
+
+using ficon::obs::JsonValue;
+
+/// %.17g: enough digits for a double to round-trip bit-exactly (the same
+/// contract as obs/report.cpp and bench_common.hpp).
+std::string json_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+bool parse_u64_text(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+std::string seed_results_json(const std::vector<SeedResult>& seeds,
+                              bool with_seconds) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const SeedResult& s = seeds[i];
+    if (i > 0) out += ',';
+    out += "{\"seed\":" + json_escape(std::to_string(s.seed)) +
+           ",\"area\":" + json_double(s.metrics.area) +
+           ",\"wirelength\":" + json_double(s.metrics.wirelength) +
+           ",\"congestion\":" + json_double(s.metrics.congestion) +
+           ",\"cost\":" + json_double(s.metrics.cost);
+    if (with_seconds) out += ",\"seconds\":" + json_double(s.seconds);
+    out += std::string(",\"cancelled\":") + (s.cancelled ? "true" : "false") +
+           ",\"representation\":" + json_escape(s.representation) + "}";
+  }
+  out += ']';
+  return out;
+}
+
+bool decode_seed_result(const JsonValue& v, SeedResult* out,
+                        std::string* error) {
+  const JsonValue* seed = v.find("seed");
+  if (seed == nullptr ||
+      !(seed->is_string() || seed->is_number())) {
+    *error = "seed result missing \"seed\"";
+    return false;
+  }
+  if (seed->is_string()) {
+    if (!parse_u64_text(seed->string, &out->seed)) {
+      *error = "bad seed string '" + seed->string + "'";
+      return false;
+    }
+  } else {
+    out->seed = static_cast<std::uint64_t>(seed->number);
+  }
+  const auto number = [&](const char* key, double* dst) {
+    const JsonValue* field = v.find(key);
+    if (field == nullptr || !field->is_number()) return false;
+    *dst = field->number;
+    return true;
+  };
+  if (!number("area", &out->metrics.area) ||
+      !number("wirelength", &out->metrics.wirelength) ||
+      !number("congestion", &out->metrics.congestion) ||
+      !number("cost", &out->metrics.cost)) {
+    *error = "seed result missing a metric";
+    return false;
+  }
+  number("seconds", &out->seconds);  // optional (absent in result lines)
+  if (const JsonValue* c = v.find("cancelled");
+      c != nullptr && c->type == JsonValue::Type::kBool) {
+    out->cancelled = c->boolean;
+  }
+  if (const JsonValue* r = v.find("representation");
+      r != nullptr && r->is_string()) {
+    out->representation = r->string;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(ProtocolOp op) {
+  switch (op) {
+    case ProtocolOp::kEvaluate: return "evaluate";
+    case ProtocolOp::kAnneal: return "anneal";
+    case ProtocolOp::kCancel: return "cancel";
+    case ProtocolOp::kPing: return "ping";
+    case ProtocolOp::kStats: return "stats";
+    case ProtocolOp::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+// --- Framing ------------------------------------------------------------
+
+FrameStatus read_frame(std::istream& in, std::string* payload) {
+  std::string header;
+  char c = 0;
+  while (in.get(c)) {
+    if (c == '\n') break;
+    header += c;
+    if (header.size() > 20) return FrameStatus::kMalformed;
+  }
+  if (!in) {
+    return header.empty() ? FrameStatus::kEof : FrameStatus::kMalformed;
+  }
+  std::uint64_t length = 0;
+  if (!parse_u64_text(header, &length) || length > kMaxFrameBytes) {
+    return FrameStatus::kMalformed;
+  }
+  payload->resize(static_cast<std::size_t>(length));
+  if (length > 0 &&
+      !in.read(payload->data(), static_cast<std::streamsize>(length))) {
+    return FrameStatus::kMalformed;
+  }
+  if (!in.get(c) || c != '\n') return FrameStatus::kMalformed;
+  return FrameStatus::kOk;
+}
+
+void write_frame(std::ostream& out, std::string_view payload) {
+  out << payload.size() << '\n';
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out << '\n';
+  out.flush();
+}
+
+#if defined(FICON_HAVE_POSIX_FD)
+
+namespace {
+
+/// read() exactly n bytes; 1 = ok, 0 = clean EOF at offset 0, -1 = short.
+int read_exact_fd(int fd, char* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, dst + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return got == 0 ? 0 : -1;
+    }
+    if (r == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+FrameStatus read_frame_fd(int fd, std::string* payload) {
+  std::string header;
+  while (true) {
+    char c = 0;
+    const int r = read_exact_fd(fd, &c, 1);
+    if (r == 0) {
+      return header.empty() ? FrameStatus::kEof : FrameStatus::kMalformed;
+    }
+    if (r < 0) return FrameStatus::kMalformed;
+    if (c == '\n') break;
+    header += c;
+    if (header.size() > 20) return FrameStatus::kMalformed;
+  }
+  std::uint64_t length = 0;
+  if (!parse_u64_text(header, &length) || length > kMaxFrameBytes) {
+    return FrameStatus::kMalformed;
+  }
+  payload->resize(static_cast<std::size_t>(length));
+  if (length > 0 && read_exact_fd(fd, payload->data(),
+                                  payload->size()) != 1) {
+    return FrameStatus::kMalformed;
+  }
+  char trailer = 0;
+  if (read_exact_fd(fd, &trailer, 1) != 1 || trailer != '\n') {
+    return FrameStatus::kMalformed;
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_frame_fd(int fd, std::string_view payload) {
+  std::string frame = std::to_string(payload.size());
+  frame += '\n';
+  frame.append(payload.data(), payload.size());
+  frame += '\n';
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+#else  // !FICON_HAVE_POSIX_FD
+
+FrameStatus read_frame_fd(int, std::string*) {
+  return FrameStatus::kMalformed;
+}
+bool write_frame_fd(int, std::string_view) { return false; }
+
+#endif
+
+// --- Requests -----------------------------------------------------------
+
+bool decode_request(const std::string& payload, ProtocolRequest* out,
+                    std::string* error) {
+  *out = ProtocolRequest{};
+  const std::optional<JsonValue> doc = obs::parse_json(payload, error);
+  if (!doc) return false;
+  if (!doc->is_object()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+
+  // Pull "id" first so even a rejected payload has an addressable reply.
+  if (const JsonValue* id = doc->find("id"); id != nullptr && id->is_number()) {
+    out->id = static_cast<std::int64_t>(id->number);
+  }
+
+  const JsonValue* op = doc->find("op");
+  if (op == nullptr || !op->is_string()) {
+    *error = "missing \"op\"";
+    return false;
+  }
+  if (op->string == "evaluate") {
+    out->op = ProtocolOp::kEvaluate;
+  } else if (op->string == "anneal") {
+    out->op = ProtocolOp::kAnneal;
+  } else if (op->string == "cancel") {
+    out->op = ProtocolOp::kCancel;
+  } else if (op->string == "ping") {
+    out->op = ProtocolOp::kPing;
+  } else if (op->string == "stats") {
+    out->op = ProtocolOp::kStats;
+  } else if (op->string == "shutdown") {
+    out->op = ProtocolOp::kShutdown;
+  } else {
+    *error = "unknown op '" + op->string + "'";
+    return false;
+  }
+
+  // CLI-compatible defaults; "grid" resolves against the chosen model.
+  Request& request = out->request;
+  request.kind = out->op == ProtocolOp::kEvaluate ? RequestKind::kEvaluate
+                                                  : RequestKind::kAnneal;
+  std::string model = "ir";
+  double grid = -1.0;  // sentinel: per-model default
+  request.objective.alpha = 1.0;
+  request.objective.beta = 1.0;
+  request.objective.gamma = 0.4;
+
+  for (const auto& [key, value] : doc->object) {
+    const auto need_number = [&]() {
+      if (value.is_number()) return true;
+      *error = "\"" + key + "\" must be a number";
+      return false;
+    };
+    if (key == "id" || key == "op") {
+      continue;  // handled above
+    } else if (key == "alpha") {
+      if (!need_number()) return false;
+      request.objective.alpha = value.number;
+    } else if (key == "beta") {
+      if (!need_number()) return false;
+      request.objective.beta = value.number;
+    } else if (key == "gamma") {
+      if (!need_number()) return false;
+      request.objective.gamma = value.number;
+    } else if (key == "grid") {
+      if (!need_number()) return false;
+      if (value.number <= 0.0) {
+        *error = "\"grid\" must be positive";
+        return false;
+      }
+      grid = value.number;
+    } else if (key == "model") {
+      if (!value.is_string()) {
+        *error = "\"model\" must be a string";
+        return false;
+      }
+      model = value.string;
+    } else if (key == "engine") {
+      if (!value.is_string() ||
+          (value.string != "polish" && value.string != "sp")) {
+        *error = "\"engine\" must be \"polish\" or \"sp\"";
+        return false;
+      }
+      request.engine = value.string == "sp"
+                           ? FloorplanEngine::kSequencePair
+                           : FloorplanEngine::kPolishExpression;
+    } else if (key == "effort") {
+      if (!need_number()) return false;
+      if (value.number <= 0.0) {
+        *error = "\"effort\" must be positive";
+        return false;
+      }
+      request.effort = value.number;
+    } else if (key == "seed") {
+      if (value.is_string()) {
+        if (!parse_u64_text(value.string, &request.seed)) {
+          *error = "bad seed '" + value.string + "'";
+          return false;
+        }
+      } else if (value.is_number() && value.number >= 0.0) {
+        request.seed = static_cast<std::uint64_t>(value.number);
+      } else {
+        *error = "\"seed\" must be a decimal string or number";
+        return false;
+      }
+    } else if (key == "seeds") {
+      if (!need_number()) return false;
+      if (value.number < 1.0 || value.number > 4096.0) {
+        *error = "\"seeds\" must be in [1, 4096]";
+        return false;
+      }
+      request.seeds = static_cast<int>(value.number);
+    } else if (key == "expression") {
+      if (!value.is_string()) {
+        *error = "\"expression\" must be a string";
+        return false;
+      }
+      request.expression = value.string;
+    } else if (key == "target") {
+      if (!need_number()) return false;
+      out->target = static_cast<std::int64_t>(value.number);
+    } else {
+      *error = "unknown key \"" + key + "\"";
+      return false;
+    }
+  }
+
+  if (model == "ir") {
+    request.objective.model = CongestionModelKind::kIrregularGrid;
+    request.objective.irregular.grid_w = grid > 0.0 ? grid : 30.0;
+    request.objective.irregular.grid_h = request.objective.irregular.grid_w;
+  } else if (model == "fixed") {
+    request.objective.model = CongestionModelKind::kFixedGrid;
+    request.objective.fixed.grid_w = grid > 0.0 ? grid : 100.0;
+    request.objective.fixed.grid_h = request.objective.fixed.grid_w;
+  } else if (model == "none") {
+    request.objective.model = CongestionModelKind::kNone;
+    request.objective.gamma = 0.0;
+  } else {
+    *error = "unknown model '" + model + "'";
+    return false;
+  }
+  if (out->op == ProtocolOp::kCancel && out->target == 0) {
+    *error = "cancel needs a non-zero \"target\"";
+    return false;
+  }
+  return true;
+}
+
+std::string encode_request(std::int64_t id, const Request& request) {
+  const char* model = "none";
+  double grid = 0.0;
+  if (request.objective.model == CongestionModelKind::kIrregularGrid) {
+    model = "ir";
+    grid = request.objective.irregular.grid_w;
+  } else if (request.objective.model == CongestionModelKind::kFixedGrid) {
+    model = "fixed";
+    grid = request.objective.fixed.grid_w;
+  }
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"op\":" + json_escape(to_string(request.kind)) +
+                    ",\"alpha\":" + json_double(request.objective.alpha) +
+                    ",\"beta\":" + json_double(request.objective.beta) +
+                    ",\"gamma\":" + json_double(request.objective.gamma) +
+                    ",\"model\":" + json_escape(model);
+  if (grid > 0.0) out += ",\"grid\":" + json_double(grid);
+  out += std::string(",\"engine\":") +
+         (request.engine == FloorplanEngine::kSequencePair ? "\"sp\""
+                                                           : "\"polish\"") +
+         ",\"seed\":" + json_escape(std::to_string(request.seed)) +
+         ",\"seeds\":" + std::to_string(request.seeds) +
+         ",\"effort\":" + json_double(request.effort);
+  if (!request.expression.empty()) {
+    out += ",\"expression\":" + json_escape(request.expression);
+  }
+  out += '}';
+  return out;
+}
+
+std::string encode_cancel(std::int64_t id, std::int64_t target) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"op\":\"cancel\",\"target\":" + std::to_string(target) + "}";
+}
+
+std::string encode_control(std::int64_t id, ProtocolOp op) {
+  return "{\"id\":" + std::to_string(id) + ",\"op\":" +
+         json_escape(to_string(op)) + "}";
+}
+
+// --- Replies ------------------------------------------------------------
+
+std::string encode_reply(std::int64_t id, const Reply& reply) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"status\":" +
+                    json_escape(to_string(reply.status));
+  if (!reply.error.empty()) out += ",\"error\":" + json_escape(reply.error);
+  out += ",\"seconds\":" + json_double(reply.seconds) +
+         ",\"seeds\":" + seed_results_json(reply.seeds, true) + "}";
+  return out;
+}
+
+std::string encode_error_reply(std::int64_t id, const std::string& message) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"status\":\"error\",\"error\":" + json_escape(message) + "}";
+}
+
+std::string encode_ok_reply(std::int64_t id) {
+  return "{\"id\":" + std::to_string(id) + ",\"status\":\"ok\"}";
+}
+
+std::string encode_stats_reply(std::int64_t id, const SessionStats& stats) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"status\":\"ok\",\"stats\":{\"submitted\":" +
+         std::to_string(stats.submitted) +
+         ",\"accepted\":" + std::to_string(stats.accepted) +
+         ",\"rejected\":" + std::to_string(stats.rejected) +
+         ",\"completed\":" + std::to_string(stats.completed) +
+         ",\"cancelled\":" + std::to_string(stats.cancelled) +
+         ",\"failed\":" + std::to_string(stats.failed) + "}}";
+}
+
+bool decode_reply(const std::string& payload, DecodedReply* out,
+                  std::string* error) {
+  *out = DecodedReply{};
+  const std::optional<JsonValue> doc = obs::parse_json(payload, error);
+  if (!doc) return false;
+  if (!doc->is_object()) {
+    *error = "reply must be a JSON object";
+    return false;
+  }
+  if (const JsonValue* id = doc->find("id"); id != nullptr && id->is_number()) {
+    out->id = static_cast<std::int64_t>(id->number);
+  }
+  const JsonValue* status = doc->find("status");
+  if (status == nullptr || !status->is_string()) {
+    *error = "missing \"status\"";
+    return false;
+  }
+  out->status = status->string;
+  if (const JsonValue* e = doc->find("error"); e != nullptr && e->is_string()) {
+    out->error = e->string;
+  }
+  if (const JsonValue* s = doc->find("seconds");
+      s != nullptr && s->is_number()) {
+    out->seconds = s->number;
+  }
+  if (const JsonValue* seeds = doc->find("seeds");
+      seeds != nullptr && seeds->type == JsonValue::Type::kArray) {
+    for (const JsonValue& entry : seeds->array) {
+      SeedResult result;
+      if (!decode_seed_result(entry, &result, error)) return false;
+      out->seeds.push_back(std::move(result));
+    }
+  }
+  if (const JsonValue* stats = doc->find("stats");
+      stats != nullptr && stats->is_object()) {
+    const auto counter = [&](const char* key, long long* dst) {
+      if (const JsonValue* v = stats->find(key);
+          v != nullptr && v->is_number()) {
+        *dst = static_cast<long long>(v->number);
+      }
+    };
+    counter("submitted", &out->stats.submitted);
+    counter("accepted", &out->stats.accepted);
+    counter("rejected", &out->stats.rejected);
+    counter("completed", &out->stats.completed);
+    counter("cancelled", &out->stats.cancelled);
+    counter("failed", &out->stats.failed);
+  }
+  return true;
+}
+
+std::string encode_result_line(const std::string& op,
+                               const std::string& circuit,
+                               const std::string& status,
+                               const std::vector<SeedResult>& seeds) {
+  return "{\"op\":" + json_escape(op) + ",\"circuit\":" +
+         json_escape(circuit) + ",\"status\":" + json_escape(status) +
+         ",\"seeds\":" + seed_results_json(seeds, false) + "}";
+}
+
+}  // namespace ficon::service

@@ -150,6 +150,30 @@ class ThreadPool {
     return hw == 0 ? 1 : static_cast<int>(hw);
   }
 
+  /// @brief RAII scope that routes every run() issued from this thread to
+  /// the inline path — exactly what happens to nested run() calls inside
+  /// a pool task.
+  ///
+  /// For threads the pool does not know about (the service layer's
+  /// request executors) this is the safe way to coexist with the global
+  /// pool: the pool runs one fork-join job at a time, so dispatching from
+  /// several independent threads concurrently is not part of its
+  /// contract. An executor that owns its level of parallelism (one
+  /// request per executor, like the seed sweep's one-run-per-block)
+  /// wraps its work in an InlineScope and nested evaluations run inline,
+  /// deterministically, on the executor itself. Restores the previous
+  /// state, so nesting is safe.
+  class InlineScope {
+   public:
+    InlineScope() : previous_(inside_run()) { inside_run() = true; }
+    ~InlineScope() { inside_run() = previous_; }
+    InlineScope(const InlineScope&) = delete;
+    InlineScope& operator=(const InlineScope&) = delete;
+
+   private:
+    const bool previous_;
+  };
+
  private:
   struct Job {
     const std::function<void(int)>* fn = nullptr;

@@ -173,6 +173,50 @@ TEST_F(BenchDiffTest, SchemaDriftAndNameMismatchFail) {
       << renamed.output;
 }
 
+TEST_F(BenchDiffTest, OptionalMetricsAreExemptFromKeyDrift) {
+  // peak_rss_mib is built into the optional list: a platform that cannot
+  // measure RSS omits it, and the gate must not read that as schema
+  // drift — in either direction.
+  const std::string with_rss = write(
+      "with_rss.json",
+      "{\"schema\": \"ficon-bench-v1\", \"bench\": \"scale\",\n"
+      " \"meta\": {\"seed\": 7, \"moves\": 50},\n"
+      " \"rows\": [{\"tier\": \"n100\", \"fingerprint\": \"f1\","
+      " \"moves_per_s\": 1000.0, \"pack_ms\": 5.0,"
+      " \"peak_rss_mib\": 42.0}]}\n");
+  const std::string without_rss = write("without_rss.json",
+                                        report(1000.0, 5.0, "f1"));
+  EXPECT_EQ(run_diff(with_rss + " " + without_rss).exit_code, 0)
+      << run_diff(with_rss + " " + without_rss).output;
+  EXPECT_EQ(run_diff(without_rss + " " + with_rss).exit_code, 0);
+  // When both sides carry it, it still participates in the comparison
+  // (lower-better: a big jump is a regression).
+  const std::string more_rss = write(
+      "more_rss.json",
+      "{\"schema\": \"ficon-bench-v1\", \"bench\": \"scale\",\n"
+      " \"meta\": {\"seed\": 7, \"moves\": 50},\n"
+      " \"rows\": [{\"tier\": \"n100\", \"fingerprint\": \"f1\","
+      " \"moves_per_s\": 1000.0, \"pack_ms\": 5.0,"
+      " \"peak_rss_mib\": 84.0}]}\n");
+  const DiffRun grew = run_diff(with_rss + " " + more_rss);
+  EXPECT_EQ(grew.exit_code, 1) << grew.output;
+  EXPECT_NE(grew.output.find("peak_rss_mib"), std::string::npos)
+      << grew.output;
+
+  // --optional extends the exemption to user-declared keys.
+  const std::string custom = write(
+      "custom.json",
+      "{\"schema\": \"ficon-bench-v1\", \"bench\": \"scale\",\n"
+      " \"meta\": {\"seed\": 7, \"moves\": 50},\n"
+      " \"rows\": [{\"tier\": \"n100\", \"fingerprint\": \"f1\","
+      " \"moves_per_s\": 1000.0, \"pack_ms\": 5.0,"
+      " \"customkey\": 1.0}]}\n");
+  EXPECT_EQ(run_diff(custom + " " + without_rss).exit_code, 1);
+  EXPECT_EQ(run_diff("--optional customkey " + custom + " " + without_rss)
+                .exit_code,
+            0);
+}
+
 TEST_F(BenchDiffTest, UnreadableInputIsExitTwo) {
   const std::string base = write("base.json", report(1000.0, 5.0, "f1"));
   EXPECT_EQ(run_diff(base + " /nonexistent/BENCH.json").exit_code, 2);

@@ -127,6 +127,12 @@ TEST(FiconLint, F003CatchesDeepIncludesFromExamplesAndBench) {
   repo.write("bench/bench_x.cpp", "#include \"congestion/field.hpp\"\n");
   // Deep includes inside src/ are fine.
   repo.write("src/core/a.cpp", "#include \"util/env.hpp\"\n");
+  // Tools get the same rule, with a carve-out for the JSON parser (the
+  // JSON-only linters) — but not for other deep headers, src/service/
+  // included.
+  repo.write("tools/my_lint.cpp",
+             "#include \"obs/json.hpp\"\n"
+             "#include \"service/session.hpp\"\n");
   const LintRun run = repo.lint();
   EXPECT_EQ(run.exit_code, 1) << run.output;
   EXPECT_NE(run.output.find("examples/demo.cpp:2: F003"), std::string::npos)
@@ -134,6 +140,10 @@ TEST(FiconLint, F003CatchesDeepIncludesFromExamplesAndBench) {
   EXPECT_NE(run.output.find("bench/bench_x.cpp:1: F003"), std::string::npos)
       << run.output;
   EXPECT_EQ(run.output.find("src/core/a.cpp"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("tools/my_lint.cpp:1"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("tools/my_lint.cpp:2: F003"), std::string::npos)
       << run.output;
 }
 

@@ -1,0 +1,77 @@
+// FlowField edge cases, in particular the degenerate zero-area cell
+// guard: a collapsed IR partition must yield density 0 (not inf/NaN)
+// and must not poison the top-fraction cost, the CSV export or any
+// downstream bench report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "congestion/field.hpp"
+#include "geom/rect.hpp"
+
+namespace ficon {
+namespace {
+
+/// 2x1 field whose cell (1, 0) has been collapsed to zero area — the
+/// shape a degenerate IR partition produces.
+class DegenerateField : public FlowField {
+ public:
+  DegenerateField() : FlowField(2, 1) {}
+
+  Rect cell_rect(int cx, int /*cy*/) const override {
+    if (cx == 0) return Rect{0.0, 0.0, 10.0, 10.0};
+    return Rect{10.0, 0.0, 10.0, 10.0};  // zero width -> zero area
+  }
+};
+
+TEST(FlowFieldDegenerate, ZeroAreaCellHasZeroDensity) {
+  DegenerateField field;
+  field.add_value(0, 0, 5.0);
+  field.add_value(1, 0, 3.0);  // flow into a cell with no area
+
+  EXPECT_DOUBLE_EQ(field.density(0, 0), 0.05);
+  EXPECT_EQ(field.density(1, 0), 0.0);
+  EXPECT_TRUE(std::isfinite(field.density(1, 0)));
+}
+
+TEST(FlowFieldDegenerate, TopFractionCostStaysFinite) {
+  DegenerateField field;
+  field.add_value(0, 0, 5.0);
+  field.add_value(1, 0, 3.0);
+
+  const double cost = field.top_area_fraction_density(0.1);
+  EXPECT_TRUE(std::isfinite(cost));
+  // The degenerate cell contributes nothing; the answer is the healthy
+  // cell's density.
+  EXPECT_DOUBLE_EQ(cost, 0.05);
+  EXPECT_DOUBLE_EQ(field.top_area_fraction_density(1.0), 0.05);
+}
+
+TEST(FlowFieldDegenerate, CsvExportCarriesNoNonFiniteValues) {
+  DegenerateField field;
+  field.add_value(1, 0, 3.0);
+
+  std::ostringstream csv;
+  field.write_density_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+}
+
+/// All-degenerate field: every query must degrade to 0, not NaN.
+class AllZeroAreaField : public FlowField {
+ public:
+  AllZeroAreaField() : FlowField(1, 1) {}
+  Rect cell_rect(int, int) const override { return Rect{2.0, 3.0, 2.0, 3.0}; }
+};
+
+TEST(FlowFieldDegenerate, AllDegenerateFieldCostsZero) {
+  AllZeroAreaField field;
+  field.add_value(0, 0, 7.0);
+  EXPECT_EQ(field.density(0, 0), 0.0);
+  EXPECT_EQ(field.top_area_fraction_density(0.1), 0.0);
+}
+
+}  // namespace
+}  // namespace ficon

@@ -1,0 +1,408 @@
+// EngineSession contract tests (ROADMAP item 1):
+//
+//   * session executors are bit-identical to the serial one-shot path at
+//     every worker count (1/2/4/8) for both evaluate and sharded anneal
+//     requests — the service-layer determinism guarantee,
+//   * backpressure: the submit that would overflow the queued-shard
+//     budget is rejected synchronously, deterministically, with ticket 0,
+//   * cancellation mid-anneal stops cooperatively, returns best-so-far,
+//     and leaves the session serviceable,
+//   * the protocol codec round-trips requests and replies bit-exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/mcnc.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ficon;
+using service::EngineSession;
+using service::Reply;
+using service::ReplyStatus;
+using service::Request;
+using service::RequestKind;
+using service::SeedResult;
+using service::SessionOptions;
+
+Request anneal_request(std::uint64_t seed, int seeds, double effort) {
+  Request request;
+  request.kind = RequestKind::kAnneal;
+  request.objective.gamma = 0.4;
+  request.objective.model = CongestionModelKind::kIrregularGrid;
+  request.objective.irregular.grid_w = 60.0;
+  request.objective.irregular.grid_h = 60.0;
+  request.seed = seed;
+  request.seeds = seeds;
+  request.effort = effort;
+  return request;
+}
+
+/// An anneal schedule that runs for tens of thousands of cheap
+/// temperatures — long enough that a cancel() issued milliseconds after
+/// the run starts always lands mid-run (the cancel poll fires at every
+/// temperature step).
+Request slow_anneal_request() {
+  Request request = anneal_request(3, 1, 1.0);
+  request.anneal.moves_per_temperature = 20;
+  request.anneal.cooling = 0.999;
+  request.anneal.stop_temperature_ratio = 1e-12;
+  request.anneal.max_stall_temperatures = 1 << 30;
+  return request;
+}
+
+void expect_same_results(const Reply& expected, const Reply& actual) {
+  ASSERT_EQ(expected.status, actual.status);
+  ASSERT_EQ(expected.seeds.size(), actual.seeds.size());
+  for (std::size_t i = 0; i < expected.seeds.size(); ++i) {
+    const SeedResult& e = expected.seeds[i];
+    const SeedResult& a = actual.seeds[i];
+    EXPECT_EQ(e.seed, a.seed) << "seed index " << i;
+    // Bit-exact, not approximate: the session executors must reproduce
+    // the serial path double for double.
+    EXPECT_EQ(e.metrics.area, a.metrics.area) << "seed index " << i;
+    EXPECT_EQ(e.metrics.wirelength, a.metrics.wirelength)
+        << "seed index " << i;
+    EXPECT_EQ(e.metrics.congestion, a.metrics.congestion)
+        << "seed index " << i;
+    EXPECT_EQ(e.metrics.cost, a.metrics.cost) << "seed index " << i;
+    EXPECT_EQ(e.representation, a.representation) << "seed index " << i;
+    EXPECT_EQ(e.cancelled, a.cancelled) << "seed index " << i;
+  }
+}
+
+TEST(ServiceHelpers, ParsePolishExpressionRoundTrips) {
+  const PolishExpression expr = service::parse_polish_expression("0 1 V 2 H");
+  EXPECT_EQ(expr.to_string(), "0 1 V 2 H");
+  EXPECT_EQ(expr.module_count(), 3);
+  EXPECT_THROW(service::parse_polish_expression("0 1 X"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parse_polish_expression("0 1"),
+               std::invalid_argument);  // missing operator
+  EXPECT_THROW(service::parse_polish_expression(""), std::invalid_argument);
+}
+
+TEST(ServiceHelpers, ShardSeedsMatchTheSeedSweepDerivation) {
+  Request request = anneal_request(9, 3, 1.0);
+  const std::vector<std::uint64_t> seeds = service::shard_seeds(request);
+  ASSERT_EQ(seeds.size(), 3u);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(seeds[static_cast<std::size_t>(s)],
+              SplitMix64(9 + static_cast<std::uint64_t>(s)).next());
+  }
+  // A single seed is used directly — the ficon_cli --seed contract.
+  request.seeds = 1;
+  EXPECT_EQ(service::shard_seeds(request),
+            std::vector<std::uint64_t>{9});
+}
+
+TEST(ServiceSession, EvaluateBitIdenticalToOneShotAtEveryWorkerCount) {
+  const Netlist netlist = make_mcnc("apte");
+  Request request;
+  request.kind = RequestKind::kEvaluate;
+  request.objective.gamma = 0.4;
+  request.objective.model = CongestionModelKind::kIrregularGrid;
+  request.objective.irregular.grid_w = 60.0;
+  request.objective.irregular.grid_h = 60.0;
+  const Reply reference = service::run_oneshot(netlist, request);
+  ASSERT_EQ(reference.status, ReplyStatus::kOk);
+  ASSERT_EQ(reference.seeds.size(), 1u);
+  EXPECT_GT(reference.seeds[0].metrics.area, 0.0);
+
+  for (const int workers : {1, 2, 4, 8}) {
+    SessionOptions options;
+    options.workers = workers;
+    EngineSession session(make_mcnc("apte"), options);
+    expect_same_results(reference, session.run(request));
+  }
+}
+
+TEST(ServiceSession, AnnealSweepBitIdenticalToOneShotAtEveryWorkerCount) {
+  const Netlist netlist = make_mcnc("apte");
+  const Request request = anneal_request(7, 2, 0.05);
+  const Reply reference = service::run_oneshot(netlist, request);
+  ASSERT_EQ(reference.status, ReplyStatus::kOk);
+  ASSERT_EQ(reference.seeds.size(), 2u);
+  EXPECT_FALSE(reference.seeds[0].representation.empty());
+
+  for (const int workers : {1, 2, 4, 8}) {
+    SessionOptions options;
+    options.workers = workers;
+    EngineSession session(make_mcnc("apte"), options);
+    expect_same_results(reference, session.run(request));
+  }
+}
+
+TEST(ServiceSession, SessionReusePreservesResults) {
+  // Back-to-back requests through one session must not perturb each
+  // other via the executor-local caches.
+  const Netlist netlist = make_mcnc("apte");
+  const Request request = anneal_request(5, 1, 0.05);
+  const Reply reference = service::run_oneshot(netlist, request);
+  SessionOptions options;
+  options.workers = 2;
+  EngineSession session(make_mcnc("apte"), options);
+  for (int round = 0; round < 3; ++round) {
+    expect_same_results(reference, session.run(request));
+  }
+}
+
+TEST(ServiceSession, BackpressureRejectsTheOverflowingSubmit) {
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  SessionOptions options;
+  options.workers = 1;
+  options.queue_capacity = 3;
+  EngineSession session(make_mcnc("apte"), options);
+
+  // Occupy the single executor so everything after stays queued.
+  Request gate;
+  gate.kind = RequestKind::kEvaluate;
+  gate.on_start = [&] {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  const EngineSession::Ticket gate_ticket = session.submit(gate);
+  ASSERT_NE(gate_ticket, 0u);
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The queue is now empty and capacity is 3: three single-shard
+  // submits fit, the fourth is rejected — deterministically.
+  Request work;
+  work.kind = RequestKind::kEvaluate;
+  std::vector<EngineSession::Ticket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(session.submit(work));
+    EXPECT_NE(tickets.back(), 0u) << "submit " << i;
+  }
+  EXPECT_EQ(session.submit(work), 0u);
+  // A two-shard request does not fit in zero remaining slots either.
+  EXPECT_EQ(session.submit(anneal_request(1, 2, 0.05)), 0u);
+  EXPECT_EQ(session.stats().rejected, 2);
+
+  release.store(true);
+  EXPECT_EQ(session.wait(gate_ticket).status, ReplyStatus::kOk);
+  for (const EngineSession::Ticket ticket : tickets) {
+    EXPECT_EQ(session.wait(ticket).status, ReplyStatus::kOk);
+  }
+  const service::SessionStats stats = session.stats();
+  EXPECT_EQ(stats.submitted, 6);
+  EXPECT_EQ(stats.accepted, 4);
+  EXPECT_EQ(stats.completed, 4);
+}
+
+TEST(ServiceSession, CancelWhileQueuedSkipsExecution) {
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  SessionOptions options;
+  options.workers = 1;
+  EngineSession session(make_mcnc("apte"), options);
+
+  Request gate;
+  gate.kind = RequestKind::kEvaluate;
+  gate.on_start = [&] {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  const EngineSession::Ticket gate_ticket = session.submit(gate);
+  ASSERT_NE(gate_ticket, 0u);
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const EngineSession::Ticket queued =
+      session.submit(anneal_request(11, 1, 1.0));
+  ASSERT_NE(queued, 0u);
+  EXPECT_TRUE(session.cancel(queued));
+  EXPECT_FALSE(session.cancel(queued + 100));  // unknown ticket
+  release.store(true);
+
+  const Reply reply = session.wait(queued);
+  EXPECT_EQ(reply.status, ReplyStatus::kCancelled);
+  ASSERT_EQ(reply.seeds.size(), 1u);
+  EXPECT_TRUE(reply.seeds[0].cancelled);
+  EXPECT_TRUE(reply.seeds[0].representation.empty());  // never ran
+  EXPECT_EQ(session.wait(gate_ticket).status, ReplyStatus::kOk);
+}
+
+TEST(ServiceSession, CancelMidAnnealReturnsBestSoFarAndStaysServiceable) {
+  std::atomic<bool> started{false};
+  SessionOptions options;
+  options.workers = 1;
+  EngineSession session(make_mcnc("ami33"), options);
+
+  Request request = slow_anneal_request();
+  request.on_start = [&] { started.store(true); };
+  const EngineSession::Ticket ticket = session.submit(request);
+  ASSERT_NE(ticket, 0u);
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(session.cancel(ticket));
+
+  const Reply reply = session.wait(ticket);
+  EXPECT_EQ(reply.status, ReplyStatus::kCancelled);
+  ASSERT_EQ(reply.seeds.size(), 1u);
+  EXPECT_TRUE(reply.seeds[0].cancelled);
+  // The run started, so it returns its best-so-far solution.
+  EXPECT_FALSE(reply.seeds[0].representation.empty());
+  EXPECT_GT(reply.seeds[0].metrics.area, 0.0);
+
+  // The session must keep serving after a cancellation.
+  Request followup;
+  followup.kind = RequestKind::kEvaluate;
+  EXPECT_EQ(session.run(followup).status, ReplyStatus::kOk);
+  const service::SessionStats stats = session.stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.completed, 1);
+}
+
+TEST(ServiceSession, CallbackRequestsSelfCollect) {
+  std::atomic<bool> done{false};
+  Reply delivered;
+  SessionOptions options;
+  options.workers = 2;
+  EngineSession session(make_mcnc("apte"), options);
+  Request request;
+  request.kind = RequestKind::kEvaluate;
+  const EngineSession::Ticket ticket = session.submit(
+      request, [&](EngineSession::Ticket, const Reply& reply) {
+        delivered = reply;
+        done.store(true);
+      });
+  ASSERT_NE(ticket, 0u);
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(delivered.status, ReplyStatus::kOk);
+  // The ticket was retired on completion: wait() reports it unknown.
+  EXPECT_EQ(session.wait(ticket).status, ReplyStatus::kError);
+}
+
+TEST(ServiceSession, DestructorCancelsOutstandingWork) {
+  std::atomic<int> callbacks{0};
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  {
+    SessionOptions options;
+    options.workers = 1;
+    EngineSession session(make_mcnc("apte"), options);
+    Request gate;
+    gate.kind = RequestKind::kEvaluate;
+    gate.on_start = [&] {
+      started.store(true);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    };
+    session.submit(gate, [&](EngineSession::Ticket, const Reply&) {
+      ++callbacks;
+    });
+    while (!started.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    session.submit(slow_anneal_request(),
+                   [&](EngineSession::Ticket, const Reply& reply) {
+                     EXPECT_EQ(reply.status, ReplyStatus::kCancelled);
+                     ++callbacks;
+                   });
+    release.store(true);
+    // ~EngineSession drains: the queued anneal completes as cancelled.
+  }
+  EXPECT_EQ(callbacks.load(), 2);
+}
+
+TEST(ServiceProtocol, RequestCodecRoundTrips) {
+  Request request = anneal_request(123456789012345ull, 4, 0.5);
+  request.expression = "0 1 V";
+  const std::string payload = service::encode_request(42, request);
+  service::ProtocolRequest decoded;
+  std::string error;
+  ASSERT_TRUE(service::decode_request(payload, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.id, 42);
+  EXPECT_EQ(decoded.op, service::ProtocolOp::kAnneal);
+  EXPECT_EQ(decoded.request.seed, request.seed);
+  EXPECT_EQ(decoded.request.seeds, request.seeds);
+  EXPECT_EQ(decoded.request.effort, request.effort);
+  EXPECT_EQ(decoded.request.objective.model, request.objective.model);
+  EXPECT_EQ(decoded.request.objective.irregular.grid_w,
+            request.objective.irregular.grid_w);
+  EXPECT_EQ(decoded.request.expression, request.expression);
+
+  // Unknown keys and unknown ops are errors, not silently ignored.
+  EXPECT_FALSE(service::decode_request(
+      R"({"id":1,"op":"anneal","bogus":1})", &decoded, &error));
+  EXPECT_FALSE(service::decode_request(
+      R"({"id":1,"op":"explode"})", &decoded, &error));
+  EXPECT_FALSE(service::decode_request("not json", &decoded, &error));
+}
+
+TEST(ServiceProtocol, ReplyCodecRoundTripsBitExactDoubles) {
+  Reply reply;
+  reply.status = ReplyStatus::kOk;
+  reply.seconds = 0.125;
+  SeedResult seed;
+  seed.seed = 18446744073709551615ull;  // max u64: must survive as string
+  seed.metrics.area = 1.0 / 3.0;
+  seed.metrics.wirelength = 2.0 / 7.0;
+  seed.metrics.congestion = 1e-17;
+  seed.metrics.cost = 123456.789012345678;
+  seed.representation = "0 1 V 2 H";
+  reply.seeds.push_back(seed);
+
+  service::DecodedReply decoded;
+  std::string error;
+  ASSERT_TRUE(service::decode_reply(service::encode_reply(7, reply),
+                                    &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.id, 7);
+  EXPECT_EQ(decoded.status, "ok");
+  ASSERT_EQ(decoded.seeds.size(), 1u);
+  EXPECT_EQ(decoded.seeds[0].seed, seed.seed);
+  EXPECT_EQ(decoded.seeds[0].metrics.area, seed.metrics.area);
+  EXPECT_EQ(decoded.seeds[0].metrics.wirelength, seed.metrics.wirelength);
+  EXPECT_EQ(decoded.seeds[0].metrics.congestion, seed.metrics.congestion);
+  EXPECT_EQ(decoded.seeds[0].metrics.cost, seed.metrics.cost);
+  EXPECT_EQ(decoded.seeds[0].representation, seed.representation);
+}
+
+TEST(ServiceProtocol, FramingRoundTripsAndRejectsGarbage) {
+  std::stringstream stream;
+  service::write_frame(stream, "hello \"frames\"\nwith newlines");
+  service::write_frame(stream, "");
+  std::string payload;
+  EXPECT_EQ(service::read_frame(stream, &payload),
+            service::FrameStatus::kOk);
+  EXPECT_EQ(payload, "hello \"frames\"\nwith newlines");
+  EXPECT_EQ(service::read_frame(stream, &payload),
+            service::FrameStatus::kOk);
+  EXPECT_EQ(payload, "");
+  EXPECT_EQ(service::read_frame(stream, &payload),
+            service::FrameStatus::kEof);
+
+  std::stringstream garbage("xyz\n{}\n");
+  EXPECT_EQ(service::read_frame(garbage, &payload),
+            service::FrameStatus::kMalformed);
+  std::stringstream truncated("10\n{}");
+  EXPECT_EQ(service::read_frame(truncated, &payload),
+            service::FrameStatus::kMalformed);
+  std::stringstream oversized("999999999999\n");
+  EXPECT_EQ(service::read_frame(oversized, &payload),
+            service::FrameStatus::kMalformed);
+}
+
+}  // namespace

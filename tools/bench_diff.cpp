@@ -17,7 +17,10 @@
 //    are lower-better, everything else is an identity metric that may
 //    not drift in either direction (e.g. final_cost, bit_identical).
 //  * A key present in one report but not the other is a violation
-//    (schema drift) unless filtered out.
+//    (schema drift) unless filtered out or on the optional-key list
+//    (built in: peak_rss_mib, which benches omit where the platform
+//    cannot measure it; extend with --optional key[,key]). Optional
+//    keys present in both reports are still compared.
 //  * The optional "manifest" member (machine provenance) is reported
 //    but never compared — baselines are expected to come from a
 //    different machine.
@@ -30,6 +33,7 @@
 //     --skip key[,key]   never compare these metrics
 //     --require key[,key]  keys that must be present (meta or every row)
 //                        in both reports
+//     --optional key[,key]  additional keys exempt from key-drift checks
 //
 // Exit codes follow the project lint convention: 0 clean, 1 regression
 // or schema violation, 2 unreadable/unparsable input.
@@ -56,6 +60,12 @@ struct Options {
   std::vector<std::string> only;
   std::vector<std::string> skip;
   std::vector<std::string> require;
+  // Keys that may be absent from either report without counting as key
+  // drift (still compared when both sides carry them). Seeded with the
+  // platform-dependent metrics benches omit where unmeasurable — see
+  // peak_rss_mib in bench/bench_common.hpp — and extensible with
+  // --optional.
+  std::vector<std::string> optional = {"peak_rss_mib"};
 };
 
 enum class Direction { kHigherBetter, kLowerBetter, kIdentity };
@@ -156,14 +166,19 @@ void compare_object(Diff& diff, const Options& options,
     if (!compared(options, key)) continue;
     const JsonValue* cur_value = cur.find(key);
     if (cur_value == nullptr) {
-      diff.fail(where + "." + key + ": dropped from current report");
+      // Optional metrics (platform measurements like peak_rss_mib) may
+      // be absent from one side — e.g. a Linux-built baseline held
+      // against a sandboxed run — without being schema drift.
+      if (!contains(options.optional, key)) {
+        diff.fail(where + "." + key + ": dropped from current report");
+      }
       continue;
     }
     compare_value(diff, options, where, key, base_value, *cur_value);
   }
   for (const auto& [key, cur_value] : cur.object) {
     if (!compared(options, key)) continue;
-    if (base.find(key) == nullptr) {
+    if (base.find(key) == nullptr && !contains(options.optional, key)) {
       diff.fail(where + "." + key + ": not in baseline report");
     }
   }
@@ -229,7 +244,8 @@ void append_keys(std::vector<std::string>& out, const std::string& csv) {
   (rc == 0 ? std::cout : std::cerr)
       << "usage: bench_diff [--threshold F] [--metric key=F]...\n"
          "                  [--only key[,key]] [--skip key[,key]]\n"
-         "                  [--require key[,key]] BASELINE CURRENT\n";
+         "                  [--require key[,key]] [--optional key[,key]]\n"
+         "                  BASELINE CURRENT\n";
   std::exit(rc);
 }
 
@@ -255,6 +271,8 @@ int main(int argc, char** argv) {
       append_keys(options.skip, argv[++i]);
     } else if (arg == "--require" && i + 1 < argc) {
       append_keys(options.require, argv[++i]);
+    } else if (arg == "--optional" && i + 1 < argc) {
+      append_keys(options.optional, argv[++i]);
     } else if (arg.rfind("--", 0) == 0) {
       usage(2);
     } else {

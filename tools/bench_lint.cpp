@@ -11,7 +11,10 @@
 // measurement). This tool checks that structure — and, with --require,
 // that every row carries the given keys — so CI can gate on the files
 // without knowing each bench's metrics. Rows must agree on their key set:
-// a row that silently drops a metric is how trend dashboards rot.
+// a row that silently drops a metric is how trend dashboards rot. The
+// one exception is the optional-metric list (peak_rss_mib): platform
+// measurements a run may legitimately lack, allowed to be absent as long
+// as absence is all-or-none across rows.
 //
 // Usage: bench_lint [--require key[,key...]] FILE...
 // Exit codes mirror trace_lint: 0 clean, 1 schema violation, 2 unreadable
@@ -19,6 +22,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,6 +32,16 @@
 namespace {
 
 using ficon::obs::JsonValue;
+
+// Metrics a bench may legitimately omit on platforms that cannot measure
+// them (all-or-none per report: either every row carries the key or no
+// row does). peak_rss_mib reads Linux /proc VmHWM, which sandboxed or
+// non-Linux runs do not have — omitting it beats baking a fake 0.0 MiB
+// into a baseline. `--require` on such a key passes when it is absent
+// from every row.
+bool is_optional_metric(const std::string& key) {
+  return key == "peak_rss_mib";
+}
 
 int check_scalars(const JsonValue& object, const std::string& where) {
   int rc = 0;
@@ -101,6 +115,7 @@ int lint_file(const std::string& path,
   if (rows->array.empty()) fail("\"rows\" must not be empty");
 
   std::vector<std::string> row0_keys;
+  std::map<std::string, std::size_t> optional_counts;
   for (std::size_t i = 0; i < rows->array.size(); ++i) {
     const JsonValue& row = rows->array[i];
     const std::string where = path + ": rows[" + std::to_string(i) + "]";
@@ -109,8 +124,16 @@ int lint_file(const std::string& path,
       continue;
     }
     rc = std::max(rc, check_scalars(row, where));
+    // Optional metrics are exempt from the key-set agreement check but
+    // must still be all-or-none across rows (counted below).
     std::vector<std::string> keys;
-    for (const auto& [key, value] : row.object) keys.push_back(key);
+    for (const auto& [key, value] : row.object) {
+      if (is_optional_metric(key)) {
+        ++optional_counts[key];
+      } else {
+        keys.push_back(key);
+      }
+    }
     if (i == 0) {
       row0_keys = keys;
     } else if (keys != row0_keys) {
@@ -119,9 +142,28 @@ int lint_file(const std::string& path,
            "same metrics)");
     }
     for (const std::string& key : required) {
-      if (row.find(key) == nullptr) {
+      if (row.find(key) == nullptr && !is_optional_metric(key)) {
         fail("rows[" + std::to_string(i) + "] missing required key \"" +
              key + "\"");
+      }
+    }
+  }
+  for (const auto& [key, count] : optional_counts) {
+    if (count != rows->array.size()) {
+      fail("optional metric \"" + key + "\" appears in " +
+           std::to_string(count) + " of " +
+           std::to_string(rows->array.size()) +
+           " rows (must be all rows or none)");
+    }
+  }
+  // A --require on an optional metric passes only when the key is either
+  // everywhere (counted above) or nowhere.
+  for (const std::string& key : required) {
+    if (is_optional_metric(key)) {
+      const auto it = optional_counts.find(key);
+      if (it != optional_counts.end() && it->second != rows->array.size()) {
+        fail("required optional metric \"" + key +
+             "\" present in only some rows");
       }
     }
   }

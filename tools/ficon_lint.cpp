@@ -13,8 +13,9 @@
 //   F002  trace-schema registry — every record type / counter / cache /
 //         strategy name emitted from src/obs/ must exist in
 //         src/obs/schema.hpp
-//   F003  umbrella includes — examples/ and bench/ include "ficon.hpp"
-//         (and bench_common.hpp), never deep src/... headers
+//   F003  umbrella includes — examples/, bench/ and tools/ include
+//         "ficon.hpp" (and bench_common.hpp), never deep src/... headers;
+//         tools may also include "obs/json.hpp" (JSON-only linters)
 //   F004  no floating-point == / != against float literals (outside the
 //         Simpson internals and test assertion macros)
 //   F005  no std::rand / srand / random_device / raw mt19937 outside
@@ -409,21 +410,33 @@ class Linter {
     }
   }
 
-  // F003 — examples/ and bench/ stay behind the umbrella header.
+  // F003 — examples/, bench/ and tools/ stay behind the umbrella header.
+  // Tools may additionally include "obs/json.hpp": the JSON-only linters
+  // (ficon_lint, bench_lint, bench_diff) deliberately avoid linking the
+  // whole library.
   void rule_umbrella_includes() {
     static const std::regex deep_include(
         "#include\\s*\"(?:src/)?(?:geom|circuit|floorplan|route|router|"
-        "congestion|anneal|core|exp|gen|obs|util|numeric)/[^\"]+\"");
+        "congestion|anneal|core|exp|gen|obs|util|numeric|service)/[^\"]+\"");
+    static const std::regex json_include(
+        "#include\\s*\"(?:src/)?obs/json\\.hpp\"");
     for (const RepoFile& f : files_) {
-      if (f.rel.rfind("examples/", 0) != 0 && f.rel.rfind("bench/", 0) != 0) {
+      const bool tool = f.rel.rfind("tools/", 0) == 0;
+      if (f.rel.rfind("examples/", 0) != 0 && f.rel.rfind("bench/", 0) != 0 &&
+          !tool) {
         continue;
       }
       for (std::size_t i = 0; i < f.views.code.size(); ++i) {
         // The include path itself is a string literal — use the text view.
         if (std::regex_search(f.views.text[i], deep_include)) {
+          if (tool && std::regex_search(f.views.text[i], json_include)) {
+            continue;
+          }
           add("F003", f, i,
-              "deep src/ include; examples and benches include "
-              "\"ficon.hpp\" only");
+              tool ? "deep src/ include; tools include \"ficon.hpp\" or "
+                     "\"obs/json.hpp\" only"
+                   : "deep src/ include; examples and benches include "
+                     "\"ficon.hpp\" only");
         }
       }
     }
@@ -635,7 +648,8 @@ void list_rules() {
       << "F001  env discipline: no raw getenv(); FICON_* knobs documented "
          "in README\n"
       << "F002  trace names registered in src/obs/schema.hpp\n"
-      << "F003  examples/ and bench/ include \"ficon.hpp\" only\n"
+      << "F003  examples/, bench/ and tools/ include \"ficon.hpp\" only "
+         "(tools may also use \"obs/json.hpp\")\n"
       << "F004  no floating-point ==/!= against float literals\n"
       << "F005  no raw RNG primitives outside util/rng.hpp\n"
       << "F006  derived-class virtual members must say override\n"

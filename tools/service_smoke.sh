@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# service_smoke.sh BUILD_DIR — end-to-end smoke of the service layer
+# (ROADMAP item 1), run by the CI service-smoke job:
+#
+#   1. boot ficond on a Unix socket,
+#   2. fire a batch of concurrent mixed requests at it through
+#      `ficon_cli --connect` (xargs -P drives real client processes),
+#   3. diff every client result line against the one-shot
+#      `ficon_cli --json` line for the same request — the two paths must
+#      be bit-identical,
+#   4. shut the daemon down cleanly,
+#   5. run bench_service and validate BENCH_service.json with bench_lint.
+#
+# Exits non-zero on the first divergence, daemon crash, or schema
+# violation.
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: service_smoke.sh BUILD_DIR}
+FICOND="$BUILD_DIR/tools/ficond"
+CLI="$BUILD_DIR/examples/ficon_cli"
+BENCH="$BUILD_DIR/bench/bench_service"
+LINT="$BUILD_DIR/tools/bench_lint"
+SOCK="${TMPDIR:-/tmp}/ficon_service_smoke_$$.sock"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ficon_service_smoke_$$.XXXXXX")"
+
+cleanup() {
+  [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK" "$SOCK"
+}
+trap cleanup EXIT
+
+echo "== booting ficond on $SOCK"
+"$FICOND" --circuit apte --socket "$SOCK" --workers 4 &
+DAEMON_PID=$!
+for _ in $(seq 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || { echo "ficond died at boot"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "ficond never created $SOCK"; exit 1; }
+
+# The request mix: cheap evaluates across models/weights plus low-effort
+# anneals across seeds — ~100 requests total, one arg-line each.
+MIX="$WORK/requests.txt"
+: > "$MIX"
+for i in $(seq 0 79); do
+  case $((i % 4)) in
+    0) echo "--op evaluate --model ir --gamma 0.4" ;;
+    1) echo "--op evaluate --model fixed --grid 120" ;;
+    2) echo "--op evaluate --model none" ;;
+    3) echo "--op evaluate --model ir --alpha 2 --beta 0.5" ;;
+  esac >> "$MIX"
+done
+for i in $(seq 1 20); do
+  echo "--op anneal --effort 0.05 --seed $i" >> "$MIX"
+done
+TOTAL=$(wc -l < "$MIX")
+
+echo "== firing $TOTAL concurrent requests through ficon_cli --connect"
+# Each line becomes one client process; -P 16 keeps the daemon's queue
+# and executors genuinely concurrent. Output order is per-file, so the
+# diff below is stable.
+run_batch() { # $1 = extra args, $2 = out dir
+  mkdir -p "$2"
+  nl -ba "$MIX" | xargs -P 16 -I{} bash -c '
+    set -euo pipefail
+    line="{}"
+    n="${line%%	*}"; args="${line#*	}"
+    # shellcheck disable=SC2086
+    '"$CLI"' --circuit apte '"$1"' $args > "'"$2"'/$(printf %03d "$n").json"
+  '
+}
+run_batch "--connect $SOCK" "$WORK/client"
+echo "== re-running the same mix one-shot (--json)"
+run_batch "--json" "$WORK/oneshot"
+
+echo "== diffing client vs one-shot result lines"
+cat "$WORK"/client/*.json > "$WORK/client.jsonl"
+cat "$WORK"/oneshot/*.json > "$WORK/oneshot.jsonl"
+diff -u "$WORK/oneshot.jsonl" "$WORK/client.jsonl"
+echo "   $TOTAL/$TOTAL bit-identical"
+
+echo "== shutting ficond down"
+kill "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "== bench_service + bench_lint"
+FICON_SERVICE_REQUESTS=${FICON_SERVICE_REQUESTS:-16} \
+FICON_SERVICE_ANNEALS=${FICON_SERVICE_ANNEALS:-4} \
+FICON_BENCH_OUT="$WORK" "$BENCH"
+"$LINT" "$WORK/BENCH_service.json" \
+  --require mode,op,requests,total_ms,requests_per_s
+
+echo "service smoke: OK"
