@@ -3,8 +3,25 @@
 // Theorem 1 approximation costs O(1) (a fixed number of Simpson samples).
 // Sweep the region edge length on a large routing range and watch the
 // exact cost grow linearly while the approximation stays flat.
+//
+// After the google-benchmark suite, main() runs the batched-kernel
+// throughput harness and writes BENCH_kernel.json ("ficon-bench-v1"):
+// Theorem-1 term evaluations per second for the per-pair scalar API, the
+// batched scalar kernel and the batched SIMD kernel, at batch sizes
+// 1/8/64/512. FICON_KERNEL_REPEATS picks the timing repeats per row
+// (default 30; the best repeat is reported, which is robust to noisy
+// shared machines); the per-row checksum pins the numerical results so
+// bench_diff catches value drift, not just speed drift.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "ficon.hpp"
 
 namespace {
@@ -13,40 +30,59 @@ using namespace ficon;
 
 constexpr int kG = 400;  // 400x400 fine cells: a 12mm net at 30um pitch
 
-LogFactorialTable& shared_table() {
-  static LogFactorialTable table;
-  return table;
+/// Theorem-1 knobs for the throughput rows: exact fallbacks disabled so
+/// every region really runs the approximation.
+ApproxOptions forced_theorem1(SimdMode mode) {
+  ApproxOptions options;
+  options.small_region_threshold = 0;
+  options.narrow_range_threshold = 0;
+  options.simd = mode;
+  return options;
 }
 
 void BM_Formula3Exact(benchmark::State& state) {
   const int span = static_cast<int>(state.range(0));
-  PathProbability prob(shared_table());
+  const ProbabilityEvaluator evaluator;
   const NetGridShape shape{kG, kG, false};
   const int lo = kG / 2 - span / 2;
   const GridRect region{lo, lo, lo + span - 1, lo + span - 1};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(prob.region_probability_exact(shape, region));
+    benchmark::DoNotOptimize(evaluator.region_probability_exact(shape, region));
   }
   state.SetComplexityN(span);
 }
 
 void BM_Theorem1Approx(benchmark::State& state) {
   const int span = static_cast<int>(state.range(0));
-  PathProbability prob(shared_table());
-  ApproxOptions options;
-  options.small_region_threshold = 0;  // force the approximation path
-  options.narrow_range_threshold = 0;
-  const ApproxRegionProbability approx(prob, options);
+  const ProbabilityEvaluator evaluator(forced_theorem1(SimdMode::kScalar));
   const int lo = kG / 2 - span / 2;
   const GridRect region{lo, lo, lo + span - 1, lo + span - 1};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(approx.theorem1(kG, kG, region));
+    benchmark::DoNotOptimize(evaluator.theorem1(kG, kG, region));
   }
   state.SetComplexityN(span);
 }
 
+void BM_Theorem1BatchSimd(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  ProbabilityEvaluator evaluator(forced_theorem1(SimdMode::kSimd));
+  const NetGridShape shape{kG, kG, false};
+  std::vector<GridRect> regions;
+  for (int i = 0; i < batch; ++i) {
+    const int lo = 40 + 3 * i % 200;
+    regions.push_back(GridRect{lo, lo, lo + 60, lo + 40});
+  }
+  std::vector<double> out(regions.size());
+  for (auto _ : state) {
+    evaluator.region_probability_batch(shape, regions, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
 void BM_BinomialTableLookup(benchmark::State& state) {
-  LogFactorialTable& table = shared_table();
+  ProbabilityEvaluator evaluator;
+  LogFactorialTable& table = evaluator.table();
   table.log_factorial(2 * kG);  // pre-grow
   int n = 100;
   for (auto _ : state) {
@@ -55,10 +91,142 @@ void BM_BinomialTableLookup(benchmark::State& state) {
   }
 }
 
-}  // namespace
-
 BENCHMARK(BM_Formula3Exact)->RangeMultiplier(2)->Range(4, 256)->Complexity();
 BENCHMARK(BM_Theorem1Approx)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+BENCHMARK(BM_Theorem1BatchSimd)->Arg(8)->Arg(64)->Arg(512);
 BENCHMARK(BM_BinomialTableLookup);
 
-BENCHMARK_MAIN();
+/// Deterministic interior regions on the kG x kG range (pin-free, so the
+/// forced-Theorem-1 policy never short-circuits). Same sequence every run:
+/// the row checksums double as a numerical pin in the committed baseline.
+std::vector<GridRect> make_regions(std::size_t n) {
+  std::vector<GridRect> regions;
+  regions.reserve(n);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state](int lo, int hi) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return lo + static_cast<int>((state >> 33) %
+                                 static_cast<std::uint64_t>(hi - lo + 1));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const int x1 = next(8, kG - 136);
+    const int y1 = next(8, kG - 136);
+    regions.push_back(
+        GridRect{x1, y1, x1 + next(3, 120), y1 + next(3, 120)});
+  }
+  return regions;
+}
+
+struct KernelRow {
+  double regions_per_s = 0.0;
+  double checksum = 0.0;
+};
+
+/// Time full evaluations of `regions` through `eval`, which fills `out`;
+/// returns throughput plus the last pass's output sum. Each repeat is
+/// timed separately and the BEST repeat wins: the minimum is the
+/// interference-free estimate on shared machines, where mean-of-repeats
+/// moves with whatever else the container runs.
+template <typename Eval>
+KernelRow time_impl(const std::vector<GridRect>& regions,
+                    std::vector<double>& out, int repeats, Eval&& eval) {
+  // Equalize the measured work across batch sizes: each timed repeat
+  // evaluates ~512 regions regardless of how many fit in one call.
+  const int calls = std::max<int>(1, 512 / static_cast<int>(regions.size()));
+  eval();  // warmup: log-factorial caches, scratch growth
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch sw;
+    for (int c = 0; c < calls; ++c) eval();
+    best_ms = std::min(best_ms, sw.milliseconds());
+  }
+  KernelRow row;
+  row.regions_per_s =
+      static_cast<double>(regions.size()) * calls / (best_ms / 1e3);
+  for (const double v : out) row.checksum += v;
+  return row;
+}
+
+/// The BENCH_kernel.json harness: per-pair scalar vs batched scalar vs
+/// batched SIMD throughput over the same region workload.
+int run_kernel_report() {
+  const int repeats = env_int("FICON_KERNEL_REPEATS", 30);
+  const NetGridShape shape{kG, kG, false};
+  const ProbabilityEvaluator probe;  // defaults, for the meta block only
+  const int panels = probe.options().simpson_panels;
+  // Every forced-Theorem-1 region integrates two exit edges at panels+1
+  // Simpson samples each.
+  const double terms_per_region = 2.0 * (panels + 1);
+
+  bench::BenchReport report("kernel");
+  report.meta("g", static_cast<long long>(kG));
+  report.meta("simpson_panels", static_cast<long long>(panels));
+  report.meta("repeats", static_cast<long long>(repeats));
+  report.meta("simd_compiled",
+              static_cast<long long>(kernel_simd_compiled() ? 1 : 0));
+
+  TextTable table({"impl", "batch", "regions/s", "terms/s", "checksum"});
+  double pair_terms_at_64 = 0.0;
+  double simd_terms_at_64 = 0.0;
+
+  for (const char* impl : {"scalar_pair", "batch_scalar", "batch_simd"}) {
+    const bool pair = std::string(impl) == "scalar_pair";
+    const SimdMode mode = std::string(impl) == "batch_simd"
+                              ? SimdMode::kSimd
+                              : SimdMode::kScalar;
+    ProbabilityEvaluator evaluator(forced_theorem1(mode));
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{8},
+                                    std::size_t{64}, std::size_t{512}}) {
+      const std::vector<GridRect> regions = make_regions(batch);
+      std::vector<double> out(regions.size());
+      const KernelRow row = time_impl(regions, out, repeats, [&] {
+        if (pair) {
+          for (std::size_t i = 0; i < regions.size(); ++i) {
+            out[i] = evaluator.region_probability(shape, regions[i]);
+          }
+        } else {
+          evaluator.region_probability_batch(shape, regions, out);
+        }
+      });
+      const double terms_per_s = row.regions_per_s * terms_per_region;
+      if (batch == 64 && pair) pair_terms_at_64 = terms_per_s;
+      if (batch == 64 && mode == SimdMode::kSimd) {
+        simd_terms_at_64 = terms_per_s;
+      }
+      report.begin_row();
+      report.value("impl", std::string(impl));
+      report.value("batch", static_cast<long long>(batch));
+      report.value("regions_per_s", row.regions_per_s);
+      report.value("terms_per_s", terms_per_s);
+      report.value("checksum", row.checksum);
+      table.add_row({impl, std::to_string(batch),
+                     fmt_fixed(row.regions_per_s, 0),
+                     fmt_fixed(terms_per_s, 0),
+                     fmt_general(row.checksum, 12)});
+    }
+  }
+
+  const double speedup =
+      pair_terms_at_64 > 0.0 ? simd_terms_at_64 / pair_terms_at_64 : 0.0;
+  report.meta("simd_speedup_batch64", speedup);
+  table.print(std::cout);
+  std::cout << "# simd/pair speedup at batch 64: " << fmt_fixed(speedup, 2)
+            << "x\n";
+  if (speedup < 2.0) {
+    std::cout << "# KERNEL SPEEDUP BELOW GATE (" << fmt_fixed(speedup, 2)
+              << "x < 2x)\n";
+  }
+  std::cout << "# wrote " << report.write_file() << "\n";
+  obs::emit_env_trace(std::cout, "bench_micro_formula");
+  return speedup >= 2.0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_kernel_report();
+}

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "congestion/prob_kernel.hpp"
 #include "numeric/normal.hpp"
-#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace ficon {
@@ -111,43 +111,17 @@ std::optional<double> ApproxRegionProbability::theorem1(
 
 double ApproxRegionProbability::region_probability(
     const NetGridShape& s, const GridRect& region) const {
-  FICON_REQUIRE(s.g1 >= 1 && s.g2 >= 1, "empty routing range");
-  const GridRect r{std::max(region.xlo, 0), std::max(region.ylo, 0),
-                   std::min(region.xhi, s.g1 - 1),
-                   std::min(region.yhi, s.g2 - 1)};
-  if (!r.valid()) return 0.0;
-  if (s.degenerate()) return 1.0;
-  // Algorithm step 3.1 + section 4.5: pin-covering IR-grids get 1, which
-  // also swallows the four error-making cells adjacent to the pins.
-  if (exact_.region_covers_pin(s, r)) {
-    obs::count(obs::Counter::kIrRegionsCertain);
-    return 1.0;
-  }
-  // Structural certainty: a monotone route visits every row and every
-  // column of its range, so a region spanning the full width (or height)
-  // is crossed by every route. Theorem 1 would lose tail mass near the
-  // pins on such spans; the exact answer is free.
-  if ((r.xlo == 0 && r.xhi == s.g1 - 1) ||
-      (r.ylo == 0 && r.yhi == s.g2 - 1)) {
-    obs::count(obs::Counter::kIrRegionsCertain);
-    return 1.0;
-  }
-  const GridRect canonical = s.type2 ? mirror_region_y(s.g2, r) : r;
-  // Every path below evaluates the clamped rect `r`. The exact fallback
-  // re-clips and mirrors internally, so feeding it the raw `region` happens
-  // to give the same answer today — but the contract here is that Theorem 1
-  // and the fallback score the *same* rect, so pass `r` explicitly.
-  if (s.g1 + s.g2 < options_.small_range_threshold ||
-      std::min(s.g1, s.g2) < options_.narrow_range_threshold ||
-      r.nx() + r.ny() <= options_.small_region_threshold) {
-    obs::count(obs::Counter::kIrTheorem1ExactFallbacks);
-    return exact_.region_probability_exact(s, r);
-  }
-  if (const auto approx = theorem1(s.g1, s.g2, canonical)) {
-    return *approx;
-  }
-  obs::count(obs::Counter::kIrTheorem1ExactFallbacks);
-  return exact_.region_probability_exact(s, r);
+  // Batch-of-one over the kernel: the policy (clamp, pin rule, structural
+  // certainty, exact fallbacks) lives in ProbKernel::region_probability_batch
+  // since the batched-kernel redesign. The kernel is a cheap handle (two
+  // copies of this evaluator's own members plus empty scratch), so
+  // occasional per-pair callers pay no measurable setup; hot callers go
+  // through the batch API directly.
+  ProbKernel kernel(exact_, options_);
+  double out = 0.0;
+  kernel.region_probability_batch(s, std::span<const GridRect>(&region, 1),
+                                  std::span<double>(&out, 1));
+  return out;
 }
 
 }  // namespace ficon

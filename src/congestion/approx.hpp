@@ -20,6 +20,8 @@
 
 #include "congestion/path_prob.hpp"
 #include "geom/rect.hpp"
+#include "numeric/kernel.hpp"
+#include "util/check.hpp"
 
 namespace ficon {
 
@@ -46,15 +48,44 @@ struct ApproxOptions {
   /// support there (deviations up to ~0.12 on e.g. 6x40 ranges), and the
   /// exact sums are bounded by the thin dimension anyway.
   int narrow_range_threshold = 12;
+  /// Which Theorem 1 implementation evaluates the approximation: the scalar
+  /// libm reference, the batched/vectorized kernel, or (default) whatever
+  /// the FICON_SIMD runtime knob resolves to. Fallback decisions (which
+  /// regions drop to exact Formula 3) are identical in both; approximated
+  /// values agree to the ulp-level bound pinned in prob_property_test.
+  SimdMode simd = SimdMode::kAuto;
+
+  /// Explicit construction-time validation: every evaluator that consumes
+  /// these options (ApproxRegionProbability, ProbKernel,
+  /// IrregularGridModel, ProbabilityEvaluator) calls this and surfaces a
+  /// std::invalid_argument instead of silently misbehaving on odd Simpson
+  /// panel counts or negative thresholds.
+  void validate() const {
+    FICON_REQUIRE(simpson_panels >= 2 && simpson_panels % 2 == 0,
+                  "ApproxOptions: simpson_panels must be even and >= 2");
+    FICON_REQUIRE(small_range_threshold >= 0,
+                  "ApproxOptions: small_range_threshold must be >= 0");
+    FICON_REQUIRE(small_region_threshold >= 0,
+                  "ApproxOptions: small_region_threshold must be >= 0");
+    FICON_REQUIRE(narrow_range_threshold >= 0,
+                  "ApproxOptions: narrow_range_threshold must be >= 0");
+  }
 };
 
-/// Theorem 1 evaluator. The exposed per-term functions exist so that the
+/// Theorem 1 evaluator — the scalar reference implementation.
+///
+/// INTERNAL: outside src/congestion/ and the tests, go through the
+/// ProbabilityEvaluator facade (congestion/prob_eval.hpp) or the batched
+/// ProbKernel (congestion/prob_kernel.hpp); ficon_lint rule F008 enforces
+/// the include boundary. The exposed per-term functions exist so that the
 /// Figure 8 precision experiment (exact-vs-approximated curves) and the
 /// tests can probe the integrand pointwise.
 class ApproxRegionProbability {
  public:
   ApproxRegionProbability(PathProbability exact, ApproxOptions options = {})
-      : exact_(exact), options_(options) {}
+      : exact_(exact), options_(options) {
+    options_.validate();
+  }
 
   /// Exact value of Function (1): the normalized top-edge exit term
   ///   Ta(x, y2) * Tb(x, y2+1) / Ta(g1-1, g2-1)
@@ -85,7 +116,9 @@ class ApproxRegionProbability {
   ///   - tiny range           -> exact Formula 3,
   ///   - otherwise Theorem 1, with exact fallback on invalid samples.
   /// Handles both net types (type II via the y-mirror) and degenerate
-  /// ranges. This is what the IrregularGridModel calls per IR-grid.
+  /// ranges. Since the batched-kernel redesign this is a thin wrapper over
+  /// ProbKernel::region_probability_batch with a batch of one; the
+  /// IrregularGridModel calls the batch form directly.
   double region_probability(const NetGridShape& s, const GridRect& region) const;
 
   const ApproxOptions& options() const { return options_; }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "congestion/prob_kernel.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -12,7 +13,7 @@ namespace {
 /// Accumulate one net's cell-crossing probabilities (Formula 2) into a
 /// partial grid (row-major like CongestionMap::values()).
 void accumulate_net(const TwoPinNet& net, const GridSpec& grid,
-                    LogFactorialTable& table, std::vector<double>& flow) {
+                    ProbKernel& kernel, std::vector<double>& flow) {
   const auto add = [&](int cx, int cy, double p) {
     flow[static_cast<std::size_t>(cy) * static_cast<std::size_t>(grid.nx()) +
          static_cast<std::size_t>(cx)] += p;
@@ -33,29 +34,18 @@ void accumulate_net(const TwoPinNet& net, const GridSpec& grid,
   }
 
   // Work in the canonical type I frame (source cell (0,0), sink
-  // (g1-1,g2-1)); a type II net is accumulated with its y mirrored.
-  // Within a row, P(x,y) is advanced by the exact ratio
-  //   P(x+1,y)/P(x,y) = (x+y+1)/(x+1) * (g1-1-x)/((g1-1-x)+(g2-1-y)),
-  // so the inner loop is multiplication-only — this is what makes the
-  // 10 um judging model affordable on mm-scale chips.
+  // (g1-1,g2-1)); a type II net is accumulated with its y mirrored. The
+  // kernel advances P(x,y) along each row by the exact multiplicative
+  // recurrence (multiplication-only inner loop — this is what makes the
+  // 10 um judging model affordable on mm-scale chips) and hands back one
+  // contiguous row of Formula 2 values at a time.
   const NetGridShape canonical{g1, g2, false};
-  const PathProbability prob(table);
-  const double log_total = prob.log_total(canonical);
-  for (int ly = 0; ly < g2; ++ly) {
+  kernel.for_each_cell_row(canonical, [&](int ly, std::span<const double> row) {
     const int gy = s.origin.y + (s.shape.type2 ? (g2 - 1 - ly) : ly);
-    // P(0, ly) = Tb(0, ly) / Total.
-    double p = std::exp(table.log_choose(g1 - 1 + g2 - 1 - ly, g2 - 1 - ly) -
-                        log_total);
     for (int lx = 0; lx < g1; ++lx) {
-      add(s.origin.x + lx, gy, p);
-      if (lx < g1 - 1) {
-        const double a = static_cast<double>(g1 - 1 - lx);
-        const double b = static_cast<double>(g2 - 1 - ly);
-        p *= (static_cast<double>(lx + ly) + 1.0) /
-             (static_cast<double>(lx) + 1.0) * a / (a + b);
-      }
+      add(s.origin.x + lx, gy, row[static_cast<std::size_t>(lx)]);
     }
-  }
+  });
 }
 
 }  // namespace
@@ -77,11 +67,12 @@ CongestionMap FixedGridModel::evaluate(std::span<const TwoPinNet> nets,
   std::vector<std::vector<double>> partial(static_cast<std::size_t>(blocks));
   ThreadPool::global().run(blocks, [&](int b) {
     thread_local LogFactorialTable table;  // race-free per-thread cache
+    ProbKernel kernel(PathProbability(table), {});
     std::vector<double>& flow = partial[static_cast<std::size_t>(b)];
     flow.assign(cells, 0.0);
     const BlockRange range = block_range(nets.size(), blocks, b);
     for (std::size_t i = range.begin; i < range.end; ++i) {
-      accumulate_net(nets[i], grid, table, flow);
+      accumulate_net(nets[i], grid, kernel, flow);
     }
   });
 

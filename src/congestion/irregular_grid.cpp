@@ -6,6 +6,7 @@
 #include <numeric>
 #include <ostream>
 
+#include "congestion/prob_kernel.hpp"
 #include "congestion/score_cache.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -72,6 +73,11 @@ std::uint64_t scoring_fingerprint(const IrregularGridParams& p) {
   h = mix(h, static_cast<std::uint64_t>(p.approx.small_range_threshold));
   h = mix(h, static_cast<std::uint64_t>(p.approx.small_region_threshold));
   h = mix(h, static_cast<std::uint64_t>(p.approx.narrow_range_threshold));
+  // The RESOLVED SIMD mode, not the enum: kAuto hashes like whichever
+  // concrete mode it resolves to, so memoized matrices can never leak
+  // between the scalar and batched-kernel evaluations while equal-result
+  // configurations still share cache entries.
+  h = mix(h, static_cast<std::uint64_t>(kernel_simd_active(p.approx.simd)));
   return h;
 }
 
@@ -107,8 +113,7 @@ class NetScorer {
       : table_(&table),
         params_(&params),
         memo_(&memo),
-        exact_(table),
-        approx_(exact_, params.approx) {}
+        kernel_(PathProbability(table), params.approx) {}
 
   void score(const TwoPinNet& net, const CutLines& cl, const Rect& chip,
              const FlowGrid& out) {
@@ -354,8 +359,8 @@ class NetScorer {
   }
 
   /// Per-region probabilities (kTheorem1 / kExactPerRegion, and the
-  /// degenerate-shape fallback of kBandedExact): steps 3.1-3.3 cell by
-  /// cell.
+  /// degenerate-shape fallback of kBandedExact): steps 3.1-3.3, one
+  /// batched kernel call for the net's whole ncx x ncy region matrix.
   void fill_regions(const NetOnGrid& net) {
     const int ncx = net.ncx();
     const int ncy = net.ncy();
@@ -366,31 +371,33 @@ class NetScorer {
                    ? obs::Counter::kIrRegionsTheorem1
                    : obs::Counter::kIrRegionsExact,
                static_cast<long long>(ncx) * ncy);
-    probs_.assign(static_cast<std::size_t>(ncx) * static_cast<std::size_t>(ncy),
-                  0.0);
+    const std::size_t n =
+        static_cast<std::size_t>(ncx) * static_cast<std::size_t>(ncy);
+    regions_.resize(n);
+    probs_.assign(n, 0.0);
     for (int cy = 0; cy < ncy; ++cy) {
       for (int cx = 0; cx < ncx; ++cx) {
-        const GridRect region{lx1_[static_cast<std::size_t>(cx)],
-                              ly1_[static_cast<std::size_t>(cy)],
-                              lx2_[static_cast<std::size_t>(cx)],
-                              ly2_[static_cast<std::size_t>(cy)]};
-        probs_[index(cx, cy, ncx)] =
-            params_->strategy == IrEvalStrategy::kTheorem1
-                ? approx_.region_probability(net.shape, region)
-                : (exact_.region_covers_pin(net.shape, region)
-                       ? 1.0
-                       : exact_.region_probability_exact(net.shape, region));
+        regions_[index(cx, cy, ncx)] =
+            GridRect{lx1_[static_cast<std::size_t>(cx)],
+                     ly1_[static_cast<std::size_t>(cy)],
+                     lx2_[static_cast<std::size_t>(cx)],
+                     ly2_[static_cast<std::size_t>(cy)]};
       }
+    }
+    if (params_->strategy == IrEvalStrategy::kTheorem1) {
+      kernel_.region_probability_batch(net.shape, regions_, probs_);
+    } else {
+      kernel_.region_probability_exact_batch(net.shape, regions_, probs_);
     }
   }
 
   LogFactorialTable* table_;
   const IrregularGridParams* params_;
   ScoreMemo* memo_;
-  PathProbability exact_;
-  ApproxRegionProbability approx_;
+  ProbKernel kernel_;
   // Scratch buffers reused across the nets of one evaluation block (each
   // block has its own scorer, so these are never shared between threads).
+  std::vector<GridRect> regions_;
   std::vector<double> probs_;
   std::vector<double> prefix_;
   std::vector<int> lx1_, lx2_, ly1_, ly2_;

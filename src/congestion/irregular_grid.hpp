@@ -114,6 +114,9 @@ class IrregularGridModel : public CongestionModel {
     FICON_REQUIRE(params.grid_w > 0.0 && params.grid_h > 0.0,
                   "fine pitch must be positive");
     FICON_REQUIRE(params.merge_factor >= 0.0, "negative merge factor");
+    // Surface bad Theorem-1 knobs (odd Simpson panel counts, negative
+    // thresholds) here, at model construction, not deep in a worker block.
+    params.approx.validate();
   }
 
   const IrregularGridParams& params() const { return params_; }

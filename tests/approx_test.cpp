@@ -1,6 +1,7 @@
 // Theorem 1 validation: the normal approximation of Formula 3 and the
 // precision rules of section 4.5.
 #include <cmath>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -16,6 +17,46 @@ class ApproxFixture : public ::testing::Test {
   PathProbability exact_{table_};
   ApproxRegionProbability approx_{exact_};
 };
+
+TEST_F(ApproxFixture, OptionsValidationRejectsBadSimpsonPanels) {
+  // Simpson's composite rule needs an even panel count of at least 2;
+  // anything else must fail loudly at construction, not integrate garbage.
+  for (const int panels : {-4, -1, 0, 1, 3, 15}) {
+    ApproxOptions o;
+    o.simpson_panels = panels;
+    EXPECT_THROW(ApproxRegionProbability(exact_, o), std::invalid_argument)
+        << "panels=" << panels;
+  }
+  for (const int panels : {2, 4, 16, 64}) {
+    ApproxOptions o;
+    o.simpson_panels = panels;
+    EXPECT_NO_THROW(ApproxRegionProbability(exact_, o)) << "panels=" << panels;
+  }
+}
+
+TEST_F(ApproxFixture, OptionsValidationRejectsNegativeThresholds) {
+  {
+    ApproxOptions o;
+    o.small_range_threshold = -1;
+    EXPECT_THROW(ApproxRegionProbability(exact_, o), std::invalid_argument);
+  }
+  {
+    ApproxOptions o;
+    o.small_region_threshold = -3;
+    EXPECT_THROW(ApproxRegionProbability(exact_, o), std::invalid_argument);
+  }
+  {
+    ApproxOptions o;
+    o.narrow_range_threshold = -2;
+    EXPECT_THROW(ApproxRegionProbability(exact_, o), std::invalid_argument);
+  }
+  // Zero thresholds are legal: they just disable the exact-fallback bands.
+  ApproxOptions zeros;
+  zeros.small_range_threshold = 0;
+  zeros.small_region_threshold = 0;
+  zeros.narrow_range_threshold = 0;
+  EXPECT_NO_THROW(ApproxRegionProbability(exact_, zeros));
+}
 
 TEST_F(ApproxFixture, ErrorCellsAreExactlyThePaperList) {
   // Section 4.5: for a type I net, Function (1)'s mu ratio leaves (0,1)

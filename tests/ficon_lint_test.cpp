@@ -1,5 +1,5 @@
 // ficon_lint end-to-end: the real tree must lint clean against the
-// committed baseline, and a seeded violation of each rule F001–F007 must
+// committed baseline, and a seeded violation of each rule F001–F008 must
 // be caught in a synthetic repo. Runs the binary as a subprocess — these
 // are contract tests on the CLI (output + exit codes), not unit tests of
 // the scanner internals.
@@ -78,7 +78,7 @@ TEST(FiconLint, ListRulesAndUsage) {
   const LintRun rules = run_lint("--list-rules");
   EXPECT_EQ(rules.exit_code, 0);
   for (const char* id :
-       {"F001", "F002", "F003", "F004", "F005", "F006", "F007"}) {
+       {"F001", "F002", "F003", "F004", "F005", "F006", "F007", "F008"}) {
     EXPECT_NE(rules.output.find(id), std::string::npos) << id;
   }
   EXPECT_EQ(run_lint("--bogus-flag").exit_code, 2);
@@ -220,6 +220,28 @@ TEST(FiconLint, F007CatchesAdHocSvgEmissionOutsideExp) {
   EXPECT_EQ(run.output.find("src/exp/writer.cpp"), std::string::npos)
       << run.output;
   EXPECT_EQ(run.output.find("tests/fixture.cpp"), std::string::npos)
+      << run.output;
+}
+
+TEST(FiconLint, F008CatchesDeepProbabilityIncludesOutsideCongestion) {
+  SeededRepo repo("f008");
+  repo.write("src/anneal/cost.cpp", "#include \"congestion/approx.hpp\"\n");
+  repo.write("examples/probe.cpp",
+             "#include \"src/congestion/path_prob.hpp\"\n");
+  // The probability engine itself and tests keep deep access.
+  repo.write("src/congestion/glue.cpp", "#include \"congestion/approx.hpp\"\n");
+  repo.write("tests/probe_test.cpp",
+             "#include \"congestion/path_prob.hpp\"\n");
+  const LintRun run = repo.lint();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/anneal/cost.cpp:1: F008"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("examples/probe.cpp:1: F008"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("prob_eval.hpp"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("src/congestion/glue.cpp"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("tests/probe_test.cpp"), std::string::npos)
       << run.output;
 }
 

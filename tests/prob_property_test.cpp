@@ -1,10 +1,21 @@
 // Randomized property tests on the probability engine — invariants that
 // must hold for ALL regions and range shapes, checked over random draws.
+// Includes the batched-kernel equivalence contract: ProbKernel's
+// contiguous-array surface must agree with the scalar per-pair reference
+// bitwise in kScalar mode and to sub-ulp-of-probability tolerance in kSimd
+// mode, with bit-identical fallback decisions.
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "congestion/approx.hpp"
+#include "congestion/irregular_grid.hpp"
 #include "congestion/path_prob.hpp"
+#include "congestion/prob_kernel.hpp"
+#include "route/two_pin.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ficon {
 namespace {
@@ -204,6 +215,176 @@ TEST_F(ProbProperties, ApproxPolicyBoundedErrorRandomized) {
         << "g=(" << s.g1 << ',' << s.g2 << ") region " << r
         << " near_pin_frame=" << near_pin_frame;
   }
+}
+
+TEST_F(ProbProperties, BatchMatchesPerPairScalarBitwise) {
+  // kScalar batch calls ARE the historical per-pair path run in a loop:
+  // batching (and scratch reuse across calls) must never change a bit.
+  ApproxOptions o;
+  o.simd = SimdMode::kScalar;
+  ProbKernel kernel(prob_, o);
+  const ApproxRegionProbability scalar(prob_, o);
+  for (int trial = 0; trial < 120; ++trial) {
+    const NetGridShape s = random_shape();
+    std::vector<GridRect> regions;
+    for (int i = 0; i < 17; ++i) regions.push_back(random_region(s.g1, s.g2));
+    // Raw out-of-range rects must clamp exactly like the per-pair API.
+    regions.push_back(GridRect{-3, -2, s.g1 + 4, 2});
+    regions.push_back(GridRect{s.g1 - 2, -5, s.g1 + 6, s.g2 + 9});
+    std::vector<double> out(regions.size(), -1.0);
+    kernel.region_probability_batch(s, regions, out);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      EXPECT_EQ(out[i], scalar.region_probability(s, regions[i]))
+          << "g=(" << s.g1 << ',' << s.g2 << ") t2=" << s.type2 << " region "
+          << regions[i];
+    }
+    std::vector<double> exact_out(regions.size(), -1.0);
+    kernel.region_probability_exact_batch(s, regions, exact_out);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      const double expected = prob_.region_covers_pin(s, regions[i])
+                                  ? 1.0
+                                  : prob_.region_probability_exact(s, regions[i]);
+      EXPECT_EQ(exact_out[i], expected) << "region " << regions[i];
+    }
+  }
+}
+
+TEST_F(ProbProperties, SimdKernelMatchesScalarWithinUlps) {
+  // The vectorized path replaces only the pdf evaluation (custom exp);
+  // validity predicates are shared IEEE expressions, so which regions drop
+  // to exact fallback is bit-identical — asserted by the tight tolerance
+  // holding even across the fallback boundary (exact values are EQUAL, so
+  // any mode disagreement would show up as an approximation-sized jump).
+  ApproxOptions so;
+  so.simd = SimdMode::kScalar;
+  ApproxOptions vo;
+  vo.simd = SimdMode::kSimd;
+  ProbKernel scalar_kernel(prob_, so);
+  ProbKernel simd_kernel(prob_, vo);
+  EXPECT_FALSE(scalar_kernel.simd());
+  EXPECT_TRUE(simd_kernel.simd());
+  for (int trial = 0; trial < 200; ++trial) {
+    const NetGridShape s{rng_.uniform_int(12, 40), rng_.uniform_int(12, 40),
+                         rng_.chance(0.5)};
+    std::vector<GridRect> regions;
+    for (int i = 0; i < 16; ++i) regions.push_back(random_region(s.g1, s.g2));
+    std::vector<double> a(regions.size()), b(regions.size());
+    scalar_kernel.region_probability_batch(s, regions, a);
+    simd_kernel.region_probability_batch(s, regions, b);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      EXPECT_NEAR(a[i], b[i], 1e-12)
+          << "g=(" << s.g1 << ',' << s.g2 << ") t2=" << s.type2 << " region "
+          << regions[i];
+    }
+  }
+}
+
+TEST_F(ProbProperties, BatchTermSamplersMarkExactlyThePaperCellsInvalid) {
+  // Section 4.5: the four pin-adjacent cells are the ONLY invalid top-exit
+  // samples on integer abscissae, and both kernel modes must mark exactly
+  // those with NaN (the batch encoding of the scalar probe's nullopt).
+  const int g1 = 9, g2 = 7;
+  for (const SimdMode mode : {SimdMode::kScalar, SimdMode::kSimd}) {
+    ApproxOptions o;
+    o.simd = mode;
+    ProbKernel kernel(prob_, o);
+    std::vector<double> xs(static_cast<std::size_t>(g1));
+    for (int x = 0; x < g1; ++x) xs[static_cast<std::size_t>(x)] = x;
+    std::vector<double> out(xs.size());
+    for (int y2 = 0; y2 < g2; ++y2) {
+      kernel.eval_top_exit_terms(g1, g2, y2, xs, out);
+      for (int x = 0; x < g1; ++x) {
+        const bool predicted = (x == 0 && y2 == 0) ||
+                               (x == g1 - 2 && y2 == g2 - 1) ||
+                               (x == g1 - 1 && y2 == g2 - 2) ||
+                               (x == g1 - 1 && y2 == g2 - 1);
+        EXPECT_EQ(std::isnan(out[static_cast<std::size_t>(x)]), predicted)
+            << "mode=" << static_cast<int>(mode) << " x=" << x
+            << " y2=" << y2;
+      }
+    }
+    // The right-exit mirror: same four cells under the x/y swap.
+    std::vector<double> ys(static_cast<std::size_t>(g2));
+    for (int y = 0; y < g2; ++y) ys[static_cast<std::size_t>(y)] = y;
+    std::vector<double> rout(ys.size());
+    for (int x2 = 0; x2 < g1; ++x2) {
+      kernel.eval_right_exit_terms(g1, g2, x2, ys, rout);
+      for (int y = 0; y < g2; ++y) {
+        const bool predicted = (x2 == 0 && y == 0) ||
+                               (x2 == g1 - 1 && y == g2 - 2) ||
+                               (x2 == g1 - 2 && y == g2 - 1) ||
+                               (x2 == g1 - 1 && y == g2 - 1);
+        EXPECT_EQ(std::isnan(rout[static_cast<std::size_t>(y)]), predicted)
+            << "mode=" << static_cast<int>(mode) << " x2=" << x2
+            << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST_F(ProbProperties, TheoremOneBatchNaNAgreesWithScalarNullopt) {
+  // theorem1_batch's NaN marker must coincide exactly with the scalar
+  // reference's nullopt — the fallback decision both modes feed from.
+  ApproxOptions o;
+  o.simd = SimdMode::kSimd;
+  ProbKernel kernel(prob_, o);
+  const ApproxRegionProbability scalar(prob_);
+  for (int trial = 0; trial < 120; ++trial) {
+    const NetGridShape s{rng_.uniform_int(5, 30), rng_.uniform_int(5, 30),
+                         false};
+    std::vector<GridRect> regions;
+    for (int i = 0; i < 8; ++i) regions.push_back(random_region(s.g1, s.g2));
+    std::vector<double> out(regions.size());
+    kernel.theorem1_batch(s.g1, s.g2, regions, out);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      const auto ref = scalar.theorem1(s.g1, s.g2, regions[i]);
+      EXPECT_EQ(std::isnan(out[i]), !ref.has_value())
+          << "g=(" << s.g1 << ',' << s.g2 << ") region " << regions[i];
+      if (ref.has_value() && !std::isnan(out[i])) {
+        EXPECT_NEAR(out[i], *ref, 1e-12) << "region " << regions[i];
+      }
+    }
+  }
+}
+
+TEST_F(ProbProperties, BatchedSimdEvaluateBitIdenticalAcrossThreadCounts) {
+  // End-to-end determinism pin for the batched path: the kTheorem1
+  // strategy on the SIMD kernel must produce bit-identical flow grids at
+  // every thread count (same contract as determinism_test, which covers
+  // the default strategies).
+  Rng rng(77);
+  std::vector<TwoPinNet> nets;
+  for (int i = 0; i < 150; ++i) {
+    const Point a{static_cast<double>(rng.uniform_int(0, 900)),
+                  static_cast<double>(rng.uniform_int(0, 700))};
+    const Point b{static_cast<double>(rng.uniform_int(0, 900)),
+                  static_cast<double>(rng.uniform_int(0, 700))};
+    nets.push_back(TwoPinNet{a, b, i});
+  }
+  const Rect chip{0.0, 0.0, 930.0, 730.0};
+  IrregularGridParams params;
+  params.strategy = IrEvalStrategy::kTheorem1;
+  params.approx.simd = SimdMode::kSimd;
+  const IrregularGridModel model(params);
+
+  ThreadPool::set_global_threads(1);
+  const IrregularCongestionMap reference = model.evaluate(nets, chip);
+  ASSERT_GT(reference.cell_count(), 0);
+
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool::set_global_threads(threads);
+    const IrregularCongestionMap map = model.evaluate(nets, chip);
+    ASSERT_EQ(map.nx(), reference.nx());
+    ASSERT_EQ(map.ny(), reference.ny());
+    for (int iy = 0; iy < map.ny(); ++iy) {
+      for (int ix = 0; ix < map.nx(); ++ix) {
+        EXPECT_EQ(map.flow(ix, iy), reference.flow(ix, iy))
+            << "threads=" << threads << " cell=(" << ix << ',' << iy << ')';
+      }
+    }
+    EXPECT_EQ(map.top_fraction_cost(0.10), reference.top_fraction_cost(0.10));
+  }
+  ThreadPool::set_global_threads(1);
 }
 
 TEST_F(ProbProperties, DiagonalSumsStayOneUnderMirror) {

@@ -26,6 +26,11 @@
 //         writers go through the HeatMapSource / write_svg APIs instead
 //         of hand-rolling "<svg" markup elsewhere (tests/ excepted:
 //         they assert on the emitted markup)
+//   F008  probability-engine boundary — the deep per-pair headers
+//         congestion/path_prob.hpp and congestion/approx.hpp are internal:
+//         outside src/congestion/ and tests/, go through the
+//         ProbabilityEvaluator facade (congestion/prob_eval.hpp) or the
+//         batched ProbKernel (congestion/prob_kernel.hpp)
 //
 // Findings can be suppressed through a committed baseline
 // (.ficon-lint-baseline.json). Every baseline entry must carry a
@@ -284,6 +289,7 @@ class Linter {
     rule_rng_discipline();
     rule_missing_override();
     rule_svg_emission();
+    rule_probability_internal_headers();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return std::tie(a.rule, a.file, a.line) <
@@ -562,6 +568,33 @@ class Linter {
     }
   }
 
+  // F008 — the per-pair probability engines are internal: only
+  // src/congestion/ itself and the tests may include path_prob.hpp /
+  // approx.hpp directly; everyone else (src/ficon.hpp included) goes
+  // through the ProbabilityEvaluator facade or the batched ProbKernel.
+  // This keeps the batched kernel the one evaluation surface the rest of
+  // the tree can depend on.
+  void rule_probability_internal_headers() {
+    static const std::regex deep_prob_include(
+        "#include\\s*\"(?:src/)?congestion/(?:path_prob|approx)\\.hpp\"");
+    for (const RepoFile& f : files_) {
+      // The linter's own needle regex would match itself.
+      if (f.rel.rfind("src/congestion/", 0) == 0 ||
+          f.rel.rfind("tests/", 0) == 0 || f.rel == "tools/ficon_lint.cpp") {
+        continue;
+      }
+      for (std::size_t i = 0; i < f.views.text.size(); ++i) {
+        // The include path itself is a string literal — use the text view.
+        if (std::regex_search(f.views.text[i], deep_prob_include)) {
+          add("F008", f, i,
+              "internal probability header; include "
+              "\"congestion/prob_eval.hpp\" (ProbabilityEvaluator) or "
+              "\"congestion/prob_kernel.hpp\" instead");
+        }
+      }
+    }
+  }
+
   fs::path repo_;
   std::vector<RepoFile> files_;
   std::string readme_;
@@ -654,7 +687,10 @@ void list_rules() {
       << "F005  no raw RNG primitives outside util/rng.hpp\n"
       << "F006  derived-class virtual members must say override\n"
       << "F007  SVG emission goes through src/exp/ "
-         "(HeatMapSource/write_svg)\n";
+         "(HeatMapSource/write_svg)\n"
+      << "F008  congestion/path_prob.hpp and congestion/approx.hpp are "
+         "internal outside src/congestion/ and tests/ (use "
+         "congestion/prob_eval.hpp)\n";
 }
 
 }  // namespace
