@@ -1,6 +1,6 @@
 #include "circuit/netlist.hpp"
 
-#include <unordered_set>
+#include <set>
 
 namespace ficon {
 
@@ -31,7 +31,7 @@ int Netlist::find_terminal(const std::string& name) const {
 }
 
 void Netlist::validate() const {
-  std::unordered_set<std::string> names;
+  std::set<std::string> names;
   for (const Module& m : modules_) {
     FICON_REQUIRE(m.width > 0.0 && m.height > 0.0,
                   "module '" + m.name + "' has non-positive dimensions");

@@ -4,9 +4,9 @@
 #include <cmath>
 #include <fstream>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <sstream>
-#include <unordered_map>
 
 #include "util/check.hpp"
 
@@ -31,8 +31,8 @@ std::string clean_line(std::string line) {
 
 /// Parse "<module>[@fx,fy]" or a bare terminal name.
 Pin parse_pin_token(const std::string& token,
-                    const std::unordered_map<std::string, int>& module_index,
-                    const std::unordered_map<std::string, int>& terminal_index,
+                    const std::map<std::string, int>& module_index,
+                    const std::map<std::string, int>& terminal_index,
                     const std::vector<Terminal>& terminals, int line) {
   std::string pin_name = token;
   double fx = 0.5, fy = 0.5;
@@ -76,8 +76,8 @@ Netlist parse_netlist(std::istream& in) {
   std::vector<Module> modules;
   std::vector<Terminal> terminals;
   std::vector<Net> nets;
-  std::unordered_map<std::string, int> module_index;
-  std::unordered_map<std::string, int> terminal_index;
+  std::map<std::string, int> module_index;
+  std::map<std::string, int> terminal_index;
 
   std::string raw;
   int line_no = 0;
@@ -187,7 +187,7 @@ Netlist parse_gsrc(std::istream& blocks, std::istream& nets, std::istream* pl,
   // which become Netlist terminals when a .pl stream supplies positions
   // and are dropped otherwise.
   constexpr int kTerminalMark = -1;
-  std::unordered_map<std::string, int> module_index;
+  std::map<std::string, int> module_index;
   std::vector<std::string> terminal_names;
 
   std::string raw;
@@ -264,9 +264,9 @@ Netlist parse_gsrc(std::istream& blocks, std::istream& nets, std::istream* pl,
   // --- Optional .pl stream: absolute pad coordinates, normalized into the
   // terminal bounding box so pad positions track the final chip outline.
   std::vector<Terminal> terminals;
-  std::unordered_map<std::string, int> terminal_index;
+  std::map<std::string, int> terminal_index;
   if (pl != nullptr) {
-    std::unordered_map<std::string, Point> raw_positions;
+    std::map<std::string, Point> raw_positions;
     double xmin = 1e300, ymin = 1e300, xmax = -1e300, ymax = -1e300;
     line_no = 0;
     while (std::getline(*pl, raw)) {

@@ -58,11 +58,10 @@
 #include "service/protocol.hpp"  // IWYU pragma: export
 #include "service/session.hpp"   // IWYU pragma: export
 
-// Experiments, tables, SVG and heat-map output.
+// Experiments, SVG and heat-map output.
 #include "exp/experiment.hpp"  // IWYU pragma: export
 #include "exp/heatmap.hpp"     // IWYU pragma: export
 #include "exp/svg.hpp"         // IWYU pragma: export
-#include "exp/table.hpp"       // IWYU pragma: export
 
 // Observability: counters, span timers, JSONL trace reports.
 #include "obs/report.hpp"  // IWYU pragma: export
@@ -74,4 +73,5 @@
 #include "util/rng.hpp"          // IWYU pragma: export
 #include "util/stats.hpp"        // IWYU pragma: export
 #include "util/stopwatch.hpp"    // IWYU pragma: export
+#include "util/table.hpp"        // IWYU pragma: export
 #include "util/thread_pool.hpp"  // IWYU pragma: export

@@ -99,8 +99,8 @@ inline V exp_poly(V r) {
 // aarch64 (NEON) target, so no -mavx flags or -Wpsabi ABI caveats are
 // needed; the batch loop runs two of these per iteration to keep four
 // independent dependency chains in flight.
-typedef double vd2 __attribute__((vector_size(16)));
-typedef std::int64_t vi2 __attribute__((vector_size(16)));
+using vd2 = double __attribute__((vector_size(16)));
+using vi2 = std::int64_t __attribute__((vector_size(16)));
 
 inline vd2 bcast(double v) { return vd2{v, v}; }
 

@@ -7,7 +7,7 @@
 #include <ostream>
 #include <vector>
 
-#include "exp/table.hpp"
+#include "util/table.hpp"
 #include "obs/json.hpp"
 #include "obs/schema.hpp"
 

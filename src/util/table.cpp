@@ -1,4 +1,4 @@
-#include "exp/table.hpp"
+#include "util/table.hpp"
 
 #include <algorithm>
 #include <ostream>

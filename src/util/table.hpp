@@ -1,5 +1,7 @@
-// Plain-text table formatting for the experiment harness — the benches
-// print rows in the same layout as the paper's Tables 1-5.
+// Plain-text table formatting, shared by the experiment benches (rows in
+// the same layout as the paper's Tables 1-5) and the obs/ trace
+// summaries. Lives in util/ — the bottom layer — because both the
+// observability layer and the experiment harness render through it.
 #pragma once
 
 #include <iosfwd>

@@ -217,6 +217,33 @@ TEST_F(BenchDiffTest, OptionalMetricsAreExemptFromKeyDrift) {
             0);
 }
 
+TEST_F(BenchDiffTest, AllFailuresAreReportedInOneRun) {
+  // The gate must not stop at the first problem: a rename, a dropped row,
+  // and a metric regression in the surviving row all surface together, so
+  // one CI run shows the whole damage.
+  const std::string base = write(
+      "base.json",
+      "{\"schema\": \"ficon-bench-v1\", \"bench\": \"scale\",\n"
+      " \"meta\": {\"seed\": 7, \"moves\": 50},\n"
+      " \"rows\": [{\"tier\": \"n100\", \"fingerprint\": \"f1\","
+      " \"moves_per_s\": 1000.0, \"pack_ms\": 5.0},\n"
+      "          {\"tier\": \"n200\", \"fingerprint\": \"f2\","
+      " \"moves_per_s\": 500.0, \"pack_ms\": 9.0}]}\n");
+  const std::string cur = write(
+      "cur.json",
+      "{\"schema\": \"ficon-bench-v1\", \"bench\": \"renamed\",\n"
+      " \"meta\": {\"seed\": 7, \"moves\": 50},\n"
+      " \"rows\": [{\"tier\": \"n100\", \"fingerprint\": \"f1\","
+      " \"moves_per_s\": 700.0, \"pack_ms\": 5.0}]}\n");
+  const DiffRun run = run_diff(base + " " + cur);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("\"bench\" name"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("row count changed: 2 -> 1"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("moves_per_s"), std::string::npos) << run.output;
+}
+
 TEST_F(BenchDiffTest, UnreadableInputIsExitTwo) {
   const std::string base = write("base.json", report(1000.0, 5.0, "f1"));
   EXPECT_EQ(run_diff(base + " /nonexistent/BENCH.json").exit_code, 2);

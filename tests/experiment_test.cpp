@@ -6,7 +6,7 @@
 
 #include "circuit/mcnc.hpp"
 #include "exp/experiment.hpp"
-#include "exp/table.hpp"
+#include "util/table.hpp"
 
 namespace ficon {
 namespace {

@@ -1,4 +1,5 @@
 // Netlist structure, the MCNC-like generator and both file parsers.
+#include <cstdint>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -6,6 +7,7 @@
 #include "circuit/mcnc.hpp"
 #include "circuit/netlist.hpp"
 #include "circuit/parser.hpp"
+#include "gen/scale.hpp"
 
 namespace ficon {
 namespace {
@@ -388,6 +390,24 @@ TEST(GsrcParser, PlStreamKeepsTerminals) {
   ASSERT_EQ(n.net_count(), 2u);
   EXPECT_TRUE(n.nets()[0].pins[1].is_terminal());
   EXPECT_TRUE(n.nets()[1].pins[1].is_terminal());
+}
+
+// Pins the parser's output bit-for-bit. The parser's name-interning maps
+// are ordered containers (ficon_lint rule D001): a lookup structure must
+// never be able to change the parsed module/net order, and this
+// fingerprint would move if one ever did.
+TEST(YalParser, FingerprintIsStable) {
+  std::istringstream in(
+      "module a 10 20\n"
+      "module b 5 5\n"
+      "module c 8 12\n"
+      "terminal p0 0.0 0.25\n"
+      "terminal p1 1.0 0.75\n"
+      "net n1 a p0\n"
+      "net n2 a@0.1,0.9 b\n"
+      "net n3 b c p1\n");
+  const Netlist n = parse_netlist(in);
+  EXPECT_EQ(netlist_fingerprint(n), 0xf0844de208fa6bc9ull);
 }
 
 }  // namespace

@@ -292,8 +292,9 @@ int main(int argc, char** argv) {
   if (base_bench == nullptr || cur_bench == nullptr ||
       !base_bench->is_string() || !cur_bench->is_string() ||
       base_bench->string != cur_bench->string) {
+    // Keep going: the metric comparison below still surfaces every other
+    // problem in one run instead of stopping at the first.
     diff.fail("reports disagree on the \"bench\" name");
-    return diff.rc;
   }
   for (const std::string& key : options.require) {
     if (!has_required_key(*baseline, key)) {
@@ -336,23 +337,26 @@ int main(int argc, char** argv) {
       base_rows->type != JsonValue::Type::kArray ||
       cur_rows->type != JsonValue::Type::kArray) {
     diff.fail("both reports must carry a \"rows\" array");
-    return diff.rc;
-  }
-  if (base_rows->array.size() != cur_rows->array.size()) {
-    diff.fail("row count changed: " +
-              std::to_string(base_rows->array.size()) + " -> " +
-              std::to_string(cur_rows->array.size()));
-    return diff.rc;
-  }
-  for (std::size_t i = 0; i < base_rows->array.size(); ++i) {
-    const JsonValue& base_row = base_rows->array[i];
-    const JsonValue& cur_row = cur_rows->array[i];
-    if (!base_row.is_object() || !cur_row.is_object()) {
-      diff.fail("rows[" + std::to_string(i) + "] must be objects");
-      continue;
+  } else {
+    if (base_rows->array.size() != cur_rows->array.size()) {
+      // A structural failure, but the shared prefix still compares below
+      // so every per-metric regression lands in the same run.
+      diff.fail("row count changed: " +
+                std::to_string(base_rows->array.size()) + " -> " +
+                std::to_string(cur_rows->array.size()));
     }
-    compare_object(diff, options, "rows[" + std::to_string(i) + "]",
-                   base_row, cur_row);
+    const std::size_t common =
+        std::min(base_rows->array.size(), cur_rows->array.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      const JsonValue& base_row = base_rows->array[i];
+      const JsonValue& cur_row = cur_rows->array[i];
+      if (!base_row.is_object() || !cur_row.is_object()) {
+        diff.fail("rows[" + std::to_string(i) + "] must be objects");
+        continue;
+      }
+      compare_object(diff, options, "rows[" + std::to_string(i) + "]",
+                     base_row, cur_row);
+    }
   }
 
   std::cout << "bench_diff: " << diff.metrics << " metric(s) compared, "

@@ -4,219 +4,58 @@
 // cannot check: env knobs must be documented, trace names must be
 // registered, public consumers must stay behind the umbrella header,
 // floating-point equality is forbidden near the numeric core, RNG use
-// must flow through the per-seed streams, and overrides must say so.
-// This tool turns those conventions into machine-checked rules with
-// stable IDs:
+// must flow through the per-seed streams, results must not depend on
+// hash-table iteration order or the wall clock, and the module layering
+// must match the declared DAG. This tool turns those conventions into
+// machine-checked rules with stable IDs (run --list-rules, or see
+// docs/STATIC_ANALYSIS.md for the full table):
 //
-//   F001  env discipline — no raw getenv(); every FICON_* knob read via
-//         util/env.hpp must appear in the README knob table
-//   F002  trace-schema registry — every record type / counter / cache /
-//         strategy name emitted from src/obs/ must exist in
-//         src/obs/schema.hpp
-//   F003  umbrella includes — examples/, bench/ and tools/ include
-//         "ficon.hpp" (and bench_common.hpp), never deep src/... headers;
-//         tools may also include "obs/json.hpp" (JSON-only linters)
-//   F004  no floating-point == / != against float literals (outside the
-//         Simpson internals and test assertion macros)
-//   F005  no std::rand / srand / random_device / raw mt19937 outside
-//         util/rng.hpp — all randomness comes from seeded Rng streams
-//   F006  derived-class members spelled `virtual` must say `override`
-//         (and `virtual` + `override` together is redundant)
-//   F007  SVG emission stays in src/exp/ — heat-map and feature-dump
-//         writers go through the HeatMapSource / write_svg APIs instead
-//         of hand-rolling "<svg" markup elsewhere (tests/ excepted:
-//         they assert on the emitted markup)
-//   F008  probability-engine boundary — the deep per-pair headers
-//         congestion/path_prob.hpp and congestion/approx.hpp are internal:
-//         outside src/congestion/ and tests/, go through the
-//         ProbabilityEvaluator facade (congestion/prob_eval.hpp) or the
-//         batched ProbKernel (congestion/prob_kernel.hpp)
+//   F001-F008  convention rules carried over from v1
+//   D001-D003  determinism rules (containers, clocks, pool reductions)
+//   L001-L002  layering rules against the .ficon-layers module DAG
+//
+// v2 replaced the line-regex scanner core with tools/lint/: a
+// comment/string-aware tokenizer builds the code/text views and the
+// token stream the D-rules walk, and quoted includes are resolved
+// per TU against compile_commands.json for the layering checks.
 //
 // Findings can be suppressed through a committed baseline
 // (.ficon-lint-baseline.json). Every baseline entry must carry a
 // non-empty "reason"; --update-baseline rewrites the file from the
 // current findings, preserving reasons for entries that persist.
 //
+// Flags beyond the v1 set:
+//   --sarif PATH             write a SARIF 2.1.0 log of every finding
+//                            (baselined ones carry suppressions)
+//   --compile-commands PATH  compile database for include resolution;
+//                            defaults to <repo>/build/compile_commands.json
+//                            when present
+//   --cache PATH             per-file result cache keyed by content hash;
+//                            safe because global checks (README, schema,
+//                            layering) re-run at aggregation every time
+//
 // Exit codes: 0 clean (all findings baselined), 1 findings, 2 usage or
 // I/O error.
-//
-// Scanner notes: rules run over a "code view" of each file with comments
-// and string/char literal *contents* blanked, so names inside strings or
-// docs never trip code rules; F001 knob names and F002 schema names are
-// extracted from a "text view" that keeps literal contents but drops
-// comments.
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
-#include <regex>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "obs/json.hpp"
+#include "lint/include_graph.hpp"
+#include "lint/report.hpp"
+#include "lint/rules.hpp"
+#include "lint/tokenizer.hpp"
 
 namespace fs = std::filesystem;
+using namespace ficon::lint;
 
 namespace {
-
-struct Finding {
-  std::string rule;     // "F001".."F006"
-  std::string file;     // repo-relative path
-  int line = 0;         // 1-based
-  std::string message;
-  std::string token;    // baseline-matching key (knob name or line text)
-};
-
-struct Suppression {
-  std::string rule;
-  std::string file;
-  std::string token;
-  std::string reason;
-  mutable bool used = false;
-};
-
-/// Both views of one source file, line-aligned with the original.
-struct SourceViews {
-  std::vector<std::string> code;  // comments + literal contents blanked
-  std::vector<std::string> text;  // comments blanked, literals kept
-};
-
-std::string collapse_whitespace(const std::string& s) {
-  std::string out;
-  bool in_space = true;
-  for (const char c : s) {
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      if (!in_space) out.push_back(' ');
-      in_space = true;
-    } else {
-      out.push_back(c);
-      in_space = false;
-    }
-  }
-  while (!out.empty() && out.back() == ' ') out.pop_back();
-  return out;
-}
-
-/// Build the code/text views. A small state machine over the whole file:
-/// tracks //, /*...*/, "...", '...' and raw strings R"delim(...)delim".
-SourceViews build_views(const std::vector<std::string>& lines) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  SourceViews views;
-  views.code.reserve(lines.size());
-  views.text.reserve(lines.size());
-  State state = State::kCode;
-  std::string raw_delim;  // for kRawString: the ")delim" terminator
-
-  for (const std::string& line : lines) {
-    std::string code(line.size(), ' ');
-    std::string text(line.size(), ' ');
-    if (state == State::kLineComment) state = State::kCode;
-
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            state = State::kLineComment;
-            i = line.size();  // rest of line is comment
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            ++i;
-          } else if (c == 'R' && next == '"' &&
-                     (i == 0 || (std::isalnum(static_cast<unsigned char>(
-                                     line[i - 1])) == 0 &&
-                                 line[i - 1] != '_'))) {
-            // R"delim( — find the delimiter.
-            std::size_t open = line.find('(', i + 2);
-            if (open != std::string::npos) {
-              raw_delim = ")" + line.substr(i + 2, open - i - 2) + "\"";
-              code[i] = 'R';
-              code[i + 1] = '"';
-              state = State::kRawString;
-              // keep literal contents in the text view
-              for (std::size_t j = i; j <= open; ++j) text[j] = line[j];
-              i = open;
-            } else {
-              code[i] = c;
-              text[i] = c;
-            }
-          } else if (c == '"') {
-            code[i] = '"';
-            text[i] = '"';
-            state = State::kString;
-          } else if (c == '\'') {
-            code[i] = '\'';
-            text[i] = '\'';
-            state = State::kChar;
-          } else {
-            code[i] = c;
-            text[i] = c;
-          }
-          break;
-        case State::kString:
-          text[i] = c;
-          if (c == '\\') {
-            if (i + 1 < line.size()) text[i + 1] = next;
-            ++i;
-          } else if (c == '"') {
-            code[i] = '"';
-            state = State::kCode;
-          }
-          break;
-        case State::kChar:
-          text[i] = c;
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            code[i] = '\'';
-            state = State::kCode;
-          }
-          break;
-        case State::kRawString: {
-          const std::size_t end = line.find(raw_delim, i);
-          if (end == std::string::npos) {
-            for (std::size_t j = i; j < line.size(); ++j) text[j] = line[j];
-            i = line.size();
-          } else {
-            for (std::size_t j = i; j < end + raw_delim.size(); ++j) {
-              text[j] = line[j];
-            }
-            code[end + raw_delim.size() - 1] = '"';
-            i = end + raw_delim.size() - 1;
-            state = State::kCode;
-          }
-          break;
-        }
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kLineComment:
-          break;  // unreachable (handled above)
-      }
-    }
-    views.code.push_back(std::move(code));
-    views.text.push_back(std::move(text));
-  }
-  return views;
-}
-
-std::vector<std::string> read_lines(const fs::path& path) {
-  std::ifstream in(path);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
 
 std::string read_file(const fs::path& path) {
   std::ifstream in(path);
@@ -225,479 +64,25 @@ std::string read_file(const fs::path& path) {
   return out.str();
 }
 
-/// Parse every quoted string inside the brace block that follows the
-/// first occurrence of `array_marker` (e.g. "kCounterNames[]").
-std::set<std::string> registry_array(const std::string& text,
-                                     const std::string& array_marker) {
-  std::set<std::string> names;
-  const std::size_t at = text.find(array_marker);
-  if (at == std::string::npos) return names;
-  const std::size_t open = text.find('{', at);
-  const std::size_t close = text.find("};", at);
-  if (open == std::string::npos || close == std::string::npos) return names;
-  const std::string block = text.substr(open, close - open);
-  static const std::regex quoted("\"([^\"]*)\"");
-  for (auto it = std::sregex_iterator(block.begin(), block.end(), quoted);
-       it != std::sregex_iterator(); ++it) {
-    names.insert((*it)[1].str());
-  }
-  return names;
-}
-
-struct RepoFile {
-  fs::path path;      // absolute
-  std::string rel;    // repo-relative, '/'-separated
-  std::vector<std::string> raw;
-  SourceViews views;
-};
-
-class Linter {
- public:
-  explicit Linter(fs::path repo) : repo_(std::move(repo)) {}
-
-  bool load() {
-    static const char* kTopDirs[] = {"src",  "tools", "examples",
-                                     "bench", "tests", "fuzz"};
-    for (const char* dir : kTopDirs) {
-      const fs::path root = repo_ / dir;
-      if (!fs::exists(root)) continue;
-      for (const auto& entry : fs::recursive_directory_iterator(root)) {
-        if (!entry.is_regular_file()) continue;
-        const std::string ext = entry.path().extension().string();
-        if (ext != ".cpp" && ext != ".hpp") continue;
-        RepoFile f;
-        f.path = entry.path();
-        f.rel = fs::relative(entry.path(), repo_).generic_string();
-        f.raw = read_lines(f.path);
-        f.views = build_views(f.raw);
-        files_.push_back(std::move(f));
-      }
-    }
-    std::sort(files_.begin(), files_.end(),
-              [](const RepoFile& a, const RepoFile& b) {
-                return a.rel < b.rel;
-              });
-    readme_ = read_file(repo_ / "README.md");
-    return !files_.empty();
-  }
-
-  std::vector<Finding> run() {
-    rule_env_discipline();
-    rule_trace_schema_registry();
-    rule_umbrella_includes();
-    rule_float_equality();
-    rule_rng_discipline();
-    rule_missing_override();
-    rule_svg_emission();
-    rule_probability_internal_headers();
-    std::sort(findings_.begin(), findings_.end(),
-              [](const Finding& a, const Finding& b) {
-                return std::tie(a.rule, a.file, a.line) <
-                       std::tie(b.rule, b.file, b.line);
-              });
-    return findings_;
-  }
-
- private:
-  void add(const std::string& rule, const RepoFile& f, std::size_t index,
-           const std::string& message, std::string token = "") {
-    if (token.empty()) token = collapse_whitespace(f.raw[index]);
-    findings_.push_back(
-        {rule, f.rel, static_cast<int>(index + 1), message, token});
-  }
-
-  // F001 — env knobs: no raw getenv(); every FICON_* knob documented.
-  void rule_env_discipline() {
-    static const std::regex raw_getenv("\\bgetenv\\s*\\(");
-    static const std::regex knob_read(
-        "\\benv_(?:string|int|double|list)\\s*\\(\\s*\"([A-Za-z0-9_]+)\"");
-    std::set<std::string> reported_knobs;
-    for (const RepoFile& f : files_) {
-      const bool is_env_hpp = f.rel == "src/util/env.hpp";
-      for (std::size_t i = 0; i < f.views.code.size(); ++i) {
-        if (!is_env_hpp &&
-            std::regex_search(f.views.code[i], raw_getenv)) {
-          add("F001", f, i,
-              "raw getenv(): read knobs through the env_* helpers in "
-              "util/env.hpp");
-        }
-        const std::string& text = f.views.text[i];
-        for (auto it = std::sregex_iterator(text.begin(), text.end(),
-                                            knob_read);
-             it != std::sregex_iterator(); ++it) {
-          const std::string knob = (*it)[1].str();
-          if (knob.rfind("FICON_", 0) != 0) continue;
-          if (readme_.find(knob) != std::string::npos) continue;
-          if (!reported_knobs.insert(knob).second) continue;
-          add("F001", f, i,
-              "knob " + knob + " is not documented in the README knob table",
-              knob);
-        }
-      }
-    }
-  }
-
-  // F002 — every name emitted by the trace writer exists in the
-  // schema-v1 registry (src/obs/schema.hpp).
-  void rule_trace_schema_registry() {
-    const fs::path schema_path = repo_ / "src" / "obs" / "schema.hpp";
-    if (!fs::exists(schema_path)) {
-      findings_.push_back({"F002", "src/obs/schema.hpp", 1,
-                           "schema registry header is missing", "missing"});
-      return;
-    }
-    const std::string schema = read_file(schema_path);
-    const std::set<std::string> record_types =
-        registry_array(schema, "kRecordTypes[]");
-    std::set<std::string> value_names;  // counter/phase/cache/strategy
-    for (const char* marker : {"kCounterNames[]", "kPhaseNames[]",
-                               "kCacheNames[]", "kStrategyNames[]"}) {
-      for (const std::string& n : registry_array(schema, marker)) {
-        value_names.insert(n);
-      }
-    }
-    std::set<std::string> row_names;  // cache/strategy display rows
-    for (const char* marker : {"kCacheNames[]", "kStrategyNames[]"}) {
-      for (const std::string& n : registry_array(schema, marker)) {
-        row_names.insert(n);
-      }
-    }
-
-    // Emitted record types appear as {\"type\":\"NAME\" inside string
-    // literals of the writer; schema-table rows as {"NAME", ...} — but
-    // only inside trace_schema() itself, so display-table rows elsewhere
-    // (TextTable::add_row) don't false-positive.
-    static const std::regex emitted_type(
-        "\\{\\\\\"type\\\\\":\\\\\"(\\w+)\\\\\"");
-    static const std::regex schema_row("\\{\"(\\w+)\",(\\s*$|\\s*\\{\\{)");
-    static const std::regex counter_row("\\{\"(\\w+)\",\\s*Counter::");
-    static const std::regex schema_fn("\\btrace_schema\\s*\\(\\s*\\)");
-    for (const RepoFile& f : files_) {
-      if (f.rel.rfind("src/obs/", 0) != 0 || f.rel == "src/obs/schema.hpp") {
-        continue;
-      }
-      bool in_schema_fn = false;
-      for (std::size_t i = 0; i < f.views.text.size(); ++i) {
-        const std::string& text = f.views.text[i];
-        if (std::regex_search(f.views.code[i], schema_fn)) {
-          in_schema_fn = true;
-        } else if (in_schema_fn && !f.views.code[i].empty() &&
-                   f.views.code[i][0] == '}') {
-          in_schema_fn = false;  // function body closed at column 0
-        }
-        for (auto it = std::sregex_iterator(text.begin(), text.end(),
-                                            emitted_type);
-             it != std::sregex_iterator(); ++it) {
-          const std::string type = (*it)[1].str();
-          if (record_types.count(type) == 0) {
-            add("F002", f, i,
-                "record type \"" + type +
-                    "\" is not registered in obs/schema.hpp",
-                type);
-          }
-        }
-        std::smatch m;
-        if (std::regex_search(text, m, counter_row)) {
-          if (row_names.count(m[1].str()) == 0) {
-            add("F002", f, i,
-                "cache/strategy row \"" + m[1].str() +
-                    "\" is not registered in obs/schema.hpp",
-                m[1].str());
-          }
-        } else if (in_schema_fn && std::regex_search(text, m, schema_row)) {
-          if (record_types.count(m[1].str()) == 0) {
-            add("F002", f, i,
-                "validator record type \"" + m[1].str() +
-                    "\" is not registered in obs/schema.hpp",
-                m[1].str());
-          }
-        }
-      }
-    }
-  }
-
-  // F003 — examples/, bench/ and tools/ stay behind the umbrella header.
-  // Tools may additionally include "obs/json.hpp": the JSON-only linters
-  // (ficon_lint, bench_lint, bench_diff) deliberately avoid linking the
-  // whole library.
-  void rule_umbrella_includes() {
-    static const std::regex deep_include(
-        "#include\\s*\"(?:src/)?(?:geom|circuit|floorplan|route|router|"
-        "congestion|anneal|core|exp|gen|obs|util|numeric|service)/[^\"]+\"");
-    static const std::regex json_include(
-        "#include\\s*\"(?:src/)?obs/json\\.hpp\"");
-    for (const RepoFile& f : files_) {
-      const bool tool = f.rel.rfind("tools/", 0) == 0;
-      if (f.rel.rfind("examples/", 0) != 0 && f.rel.rfind("bench/", 0) != 0 &&
-          !tool) {
-        continue;
-      }
-      for (std::size_t i = 0; i < f.views.code.size(); ++i) {
-        // The include path itself is a string literal — use the text view.
-        if (std::regex_search(f.views.text[i], deep_include)) {
-          if (tool && std::regex_search(f.views.text[i], json_include)) {
-            continue;
-          }
-          add("F003", f, i,
-              tool ? "deep src/ include; tools include \"ficon.hpp\" or "
-                     "\"obs/json.hpp\" only"
-                   : "deep src/ include; examples and benches include "
-                     "\"ficon.hpp\" only");
-        }
-      }
-    }
-  }
-
-  // F004 — no ==/!= against floating-point literals.
-  void rule_float_equality() {
-    static const std::regex float_eq(
-        "(?:[=!]=\\s*[-+]?(?:\\d+\\.\\d*|\\.\\d+|"
-        "\\d+(?:\\.\\d*)?[eE][-+]?\\d+)[fFlL]?)|"
-        "(?:(?:\\d+\\.\\d*|\\.\\d+|\\d+(?:\\.\\d*)?[eE][-+]?\\d+)[fFlL]?"
-        "\\s*[=!]=)");
-    // Simpson integrators compare interval endpoints exactly on purpose.
-    static const std::set<std::string> file_allowlist = {
-        "src/congestion/approx.cpp", "src/numeric/simpson.hpp"};
-    static const std::regex assertion_macro(
-        "\\b(?:EXPECT_|ASSERT_|static_assert)");
-    for (const RepoFile& f : files_) {
-      if (file_allowlist.count(f.rel) != 0) continue;
-      for (std::size_t i = 0; i < f.views.code.size(); ++i) {
-        const std::string& code = f.views.code[i];
-        if (!std::regex_search(code, float_eq)) continue;
-        if (std::regex_search(code, assertion_macro)) continue;
-        add("F004", f, i,
-            "floating-point ==/!= against a literal; use an epsilon or an "
-            "integer representation");
-      }
-    }
-  }
-
-  // F005 — randomness flows through util/rng.hpp seeded streams only.
-  void rule_rng_discipline() {
-    static const std::regex raw_rng(
-        "\\bstd::rand\\b|\\bsrand\\s*\\(|\\brandom_device\\b|"
-        "\\bmt19937(?:_64)?\\b");
-    for (const RepoFile& f : files_) {
-      if (f.rel == "src/util/rng.hpp") continue;
-      for (std::size_t i = 0; i < f.views.code.size(); ++i) {
-        if (std::regex_search(f.views.code[i], raw_rng)) {
-          add("F005", f, i,
-              "raw RNG primitive; use the seeded Rng streams from "
-              "util/rng.hpp");
-        }
-      }
-    }
-  }
-
-  // F006 — in a class with a base list, `virtual` members must say
-  // `override` (and `virtual` together with `override` is redundant).
-  void rule_missing_override() {
-    static const std::regex derived_head(
-        "\\b(?:class|struct)\\s+\\w+[^;{=]*:\\s*"
-        "(?:public|protected|private|virtual)\\b");
-    static const std::regex enum_head("\\benum\\s+(?:class|struct)\\b");
-    static const std::regex any_head("\\b(?:class|struct)\\s+\\w+");
-    static const std::regex virtual_kw("\\bvirtual\\b");
-    static const std::regex override_kw("\\boverride\\b|\\bfinal\\b");
-    for (const RepoFile& f : files_) {
-      // Stack of (brace depth at class open, class has a base list).
-      std::vector<std::pair<int, bool>> classes;
-      int depth = 0;
-      bool pending = false;          // class head seen, '{' not yet
-      bool pending_derived = false;  // ... and it has a base list
-      for (std::size_t i = 0; i < f.views.code.size(); ++i) {
-        const std::string& code = f.views.code[i];
-        if (!pending && !std::regex_search(code, enum_head) &&
-            std::regex_search(code, any_head) &&
-            code.find(';') == std::string::npos) {
-          pending = true;
-          pending_derived = std::regex_search(code, derived_head);
-        } else if (pending && std::regex_search(code, derived_head)) {
-          pending_derived = true;  // base list on a continuation line
-        }
-        const bool in_derived = !classes.empty() && classes.back().second;
-        if (in_derived && std::regex_search(code, virtual_kw)) {
-          if (std::regex_search(code, override_kw)) {
-            add("F006", f, i,
-                "redundant `virtual` on an override (override implies "
-                "virtual)");
-          } else {
-            add("F006", f, i,
-                "virtual member in a derived class must say `override` "
-                "(or `final`)");
-          }
-        }
-        for (const char c : code) {
-          if (c == '{') {
-            if (pending) {
-              classes.emplace_back(depth, pending_derived);
-              pending = false;
-            }
-            ++depth;
-          } else if (c == '}') {
-            --depth;
-            if (!classes.empty() && classes.back().first == depth) {
-              classes.pop_back();
-            }
-          }
-        }
-      }
-    }
-  }
-
-  // F007 — no ad-hoc SVG emission outside src/exp/: anything writing
-  // "<svg" markup must go through the HeatMapSource / write_svg APIs so
-  // every rendered artifact inherits their determinism contract.
-  // tests/ may quote the markup to assert on it.
-  void rule_svg_emission() {
-    for (const RepoFile& f : files_) {
-      // The linter's own needle literal would match itself.
-      if (f.rel.rfind("src/exp/", 0) == 0 || f.rel.rfind("tests/", 0) == 0 ||
-          f.rel == "tools/ficon_lint.cpp") {
-        continue;
-      }
-      for (std::size_t i = 0; i < f.views.text.size(); ++i) {
-        // The marker lives inside a string literal — use the text view.
-        if (f.views.text[i].find("<svg") != std::string::npos) {
-          add("F007", f, i,
-              "ad-hoc SVG emission; render through HeatMapSource / "
-              "write_svg in src/exp/");
-        }
-      }
-    }
-  }
-
-  // F008 — the per-pair probability engines are internal: only
-  // src/congestion/ itself and the tests may include path_prob.hpp /
-  // approx.hpp directly; everyone else (src/ficon.hpp included) goes
-  // through the ProbabilityEvaluator facade or the batched ProbKernel.
-  // This keeps the batched kernel the one evaluation surface the rest of
-  // the tree can depend on.
-  void rule_probability_internal_headers() {
-    static const std::regex deep_prob_include(
-        "#include\\s*\"(?:src/)?congestion/(?:path_prob|approx)\\.hpp\"");
-    for (const RepoFile& f : files_) {
-      // The linter's own needle regex would match itself.
-      if (f.rel.rfind("src/congestion/", 0) == 0 ||
-          f.rel.rfind("tests/", 0) == 0 || f.rel == "tools/ficon_lint.cpp") {
-        continue;
-      }
-      for (std::size_t i = 0; i < f.views.text.size(); ++i) {
-        // The include path itself is a string literal — use the text view.
-        if (std::regex_search(f.views.text[i], deep_prob_include)) {
-          add("F008", f, i,
-              "internal probability header; include "
-              "\"congestion/prob_eval.hpp\" (ProbabilityEvaluator) or "
-              "\"congestion/prob_kernel.hpp\" instead");
-        }
-      }
-    }
-  }
-
-  fs::path repo_;
-  std::vector<RepoFile> files_;
-  std::string readme_;
-  std::vector<Finding> findings_;
-};
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-std::optional<std::vector<Suppression>> load_baseline(
-    const fs::path& path, std::string* error) {
-  std::vector<Suppression> suppressions;
-  if (!fs::exists(path)) return suppressions;  // empty baseline is fine
-  const std::string text = read_file(path);
-  std::string parse_error;
-  const auto value = ficon::obs::parse_json(text, &parse_error);
-  if (!value.has_value() || !value->is_object()) {
-    *error = path.string() + ": " + parse_error;
-    return std::nullopt;
-  }
-  const ficon::obs::JsonValue* list = value->find("suppressions");
-  if (list == nullptr ||
-      list->type != ficon::obs::JsonValue::Type::kArray) {
-    *error = path.string() + ": missing \"suppressions\" array";
-    return std::nullopt;
-  }
-  for (const ficon::obs::JsonValue& entry : list->array) {
-    Suppression s;
-    for (const auto& [key, member] :
-         std::initializer_list<std::pair<const char*, std::string*>>{
-             {"rule", &s.rule},
-             {"file", &s.file},
-             {"token", &s.token},
-             {"reason", &s.reason}}) {
-      const ficon::obs::JsonValue* v = entry.find(key);
-      if (v == nullptr || !v->is_string()) {
-        *error = path.string() + ": suppression lacks string \"" +
-                 std::string(key) + "\"";
-        return std::nullopt;
-      }
-      *member = v->string;
-    }
-    suppressions.push_back(std::move(s));
-  }
-  return suppressions;
-}
-
-void write_baseline(const fs::path& path,
-                    const std::vector<Finding>& findings,
-                    const std::vector<Suppression>& old) {
-  std::ofstream out(path);
-  out << "{\n  \"suppressions\": [";
-  bool first = true;
-  for (const Finding& f : findings) {
-    std::string reason = "UNREVIEWED: justify or fix";
-    for (const Suppression& s : old) {
-      if (s.rule == f.rule && s.file == f.file && s.token == f.token) {
-        reason = s.reason;
-        break;
-      }
-    }
-    out << (first ? "\n" : ",\n");
-    first = false;
-    out << "    {\"rule\": \"" << f.rule << "\", \"file\": \""
-        << json_escape(f.file) << "\",\n     \"token\": \""
-        << json_escape(f.token) << "\",\n     \"reason\": \""
-        << json_escape(reason) << "\"}";
-  }
-  out << "\n  ]\n}\n";
-}
-
 void list_rules() {
-  std::cout
-      << "F001  env discipline: no raw getenv(); FICON_* knobs documented "
-         "in README\n"
-      << "F002  trace names registered in src/obs/schema.hpp\n"
-      << "F003  examples/, bench/ and tools/ include \"ficon.hpp\" only "
-         "(tools may also use \"obs/json.hpp\")\n"
-      << "F004  no floating-point ==/!= against float literals\n"
-      << "F005  no raw RNG primitives outside util/rng.hpp\n"
-      << "F006  derived-class virtual members must say override\n"
-      << "F007  SVG emission goes through src/exp/ "
-         "(HeatMapSource/write_svg)\n"
-      << "F008  congestion/path_prob.hpp and congestion/approx.hpp are "
-         "internal outside src/congestion/ and tests/ (use "
-         "congestion/prob_eval.hpp)\n";
+  for (const RuleInfo& r : rule_registry()) {
+    std::cout << r.id << "  " << r.summary << "\n";
+  }
+}
+
+int usage() {
+  std::cerr << "usage: ficon_lint [--repo DIR] [--baseline FILE] "
+               "[--update-baseline] [--list-rules]\n"
+               "                  [--sarif FILE] [--compile-commands FILE] "
+               "[--cache FILE]\n";
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path repo = fs::current_path();
-  std::optional<fs::path> baseline_path;
+  std::optional<fs::path> baseline_path, sarif_path, cc_path, cache_path;
   bool update_baseline = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -705,15 +90,19 @@ int main(int argc, char** argv) {
       repo = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = fs::path(argv[++i]);
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = fs::path(argv[++i]);
+    } else if (arg == "--compile-commands" && i + 1 < argc) {
+      cc_path = fs::path(argv[++i]);
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = fs::path(argv[++i]);
     } else if (arg == "--update-baseline") {
       update_baseline = true;
     } else if (arg == "--list-rules") {
       list_rules();
       return 0;
     } else {
-      std::cerr << "usage: ficon_lint [--repo DIR] [--baseline FILE] "
-                   "[--update-baseline] [--list-rules]\n";
-      return 2;
+      return usage();
     }
   }
   if (!fs::exists(repo)) {
@@ -724,18 +113,113 @@ int main(int argc, char** argv) {
     baseline_path = repo / ".ficon-lint-baseline.json";
   }
 
-  Linter linter(repo);
-  if (!linter.load()) {
+  // Gather sources.
+  struct Source {
+    std::string rel;
+    std::string content;
+  };
+  std::vector<Source> sources;
+  static const char* kTopDirs[] = {"src",   "tools", "examples",
+                                   "bench", "tests", "fuzz"};
+  for (const char* dir : kTopDirs) {
+    const fs::path root = repo / dir;
+    if (!fs::exists(root)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      sources.push_back({fs::relative(entry.path(), repo).generic_string(),
+                         read_file(entry.path())});
+    }
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const Source& a, const Source& b) { return a.rel < b.rel; });
+  if (sources.empty()) {
     std::cerr << "ficon_lint: no sources found under " << repo.string()
               << "\n";
     return 2;
   }
-  const std::vector<Finding> findings = linter.run();
 
+  // Per-file analysis, through the cache when one is configured.
+  std::map<std::string, FileAnalysis> cached;
+  if (cache_path.has_value()) cached = load_cache(*cache_path);
+  std::map<std::string, FileAnalysis> analyses;
+  for (const Source& s : sources) {
+    const std::uint64_t hash = content_hash(s.content);
+    const auto it = cached.find(s.rel);
+    if (it != cached.end() && it->second.hash == hash) {
+      analyses.emplace(s.rel, std::move(it->second));
+    } else {
+      analyses.emplace(s.rel, analyze_file(s.rel, s.content));
+    }
+  }
+
+  // Aggregation: global F-rule halves over the per-file extractions.
+  std::vector<Finding> findings;
+  std::vector<std::pair<std::string, const FileAnalysis*>> ordered;
+  for (const Source& s : sources) {
+    const FileAnalysis& fa = analyses.at(s.rel);
+    ordered.emplace_back(s.rel, &fa);
+    findings.insert(findings.end(), fa.findings.begin(), fa.findings.end());
+  }
+  const fs::path schema_path = repo / "src" / "obs" / "schema.hpp";
+  const bool schema_exists = fs::exists(schema_path);
+  const std::vector<Finding> global = aggregate_findings(
+      ordered, read_file(repo / "README.md"), schema_exists,
+      schema_exists ? read_file(schema_path) : std::string());
+  findings.insert(findings.end(), global.begin(), global.end());
+
+  // Layering: resolve the include graph, check it against .ficon-layers.
   std::string error;
+  const fs::path cc_file =
+      cc_path.value_or(repo / "build" / "compile_commands.json");
+  const auto compile = load_compile_commands(cc_file, &error);
+  if (!compile.has_value()) {
+    std::cerr << "ficon_lint: " << error << "\n";
+    return 2;
+  }
+  if (cc_path.has_value() && !compile->loaded) {
+    std::cerr << "ficon_lint: cannot read compile database "
+              << cc_path->string() << "\n";
+    return 2;
+  }
+  const fs::path layers_path = repo / ".ficon-layers";
+  if (fs::exists(layers_path)) {
+    const auto groups = parse_layers(read_file(layers_path), &error);
+    if (!groups.has_value()) {
+      std::cerr << "ficon_lint: " << error << "\n";
+      return 2;
+    }
+    std::set<std::string> known;
+    for (const Source& s : sources) known.insert(s.rel);
+    std::map<std::string, std::vector<std::pair<std::string, int>>> resolved;
+    for (const auto& [rel, fa] : ordered) {
+      if (rel.rfind("src/", 0) != 0) continue;
+      auto& edges = resolved[rel];
+      for (const IncludeRef& inc : fa->includes) {
+        const auto target =
+            resolve_include(rel, inc.path, known, repo, *compile);
+        if (target.has_value() && *target != rel) {
+          edges.emplace_back(*target, inc.line);
+        }
+      }
+    }
+    const std::vector<Finding> layer =
+        layering_findings(resolved, *groups);
+    findings.insert(findings.end(), layer.begin(), layer.end());
+  }
+
+  sort_findings(findings);
+
   const auto suppressions = load_baseline(*baseline_path, &error);
   if (!suppressions.has_value()) {
     std::cerr << "ficon_lint: " << error << "\n";
+    return 2;
+  }
+
+  if (cache_path.has_value() && !save_cache(*cache_path, analyses)) {
+    std::cerr << "ficon_lint: cannot write cache " << cache_path->string()
+              << "\n";
     return 2;
   }
 
@@ -746,15 +230,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (sarif_path.has_value() &&
+      !write_sarif(*sarif_path, repo, findings, *suppressions)) {
+    std::cerr << "ficon_lint: cannot write SARIF log "
+              << sarif_path->string() << "\n";
+    return 2;
+  }
+
   int reported = 0;
   for (const Finding& f : findings) {
-    const Suppression* match = nullptr;
-    for (const Suppression& s : *suppressions) {
-      if (s.rule == f.rule && s.file == f.file && s.token == f.token) {
-        match = &s;
-        break;
-      }
-    }
+    const Suppression* match = match_suppression(*suppressions, f);
     if (match != nullptr && !match->reason.empty() &&
         match->reason.rfind("UNREVIEWED", 0) != 0) {
       match->used = true;
